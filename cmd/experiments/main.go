@@ -1,0 +1,55 @@
+// Command experiments regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	experiments -list           # available figure/table ids
+//	experiments fig9 fig17      # run specific experiments
+//	experiments all             # run everything, paper order
+//	experiments -format csv fig12 > fig12.csv
+//	experiments -format json fig13
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	format := flag.String("format", "text", "output format: text, csv, json")
+	flag.Parse()
+
+	if *list {
+		for _, id := range repro.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [-list] <id>... | all")
+		os.Exit(2)
+	}
+	ids := args
+	if len(args) == 1 && args[0] == "all" {
+		ids = repro.ExperimentIDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := repro.Experiment(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := tbl.RenderAs(os.Stdout, *format); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,192 @@
+// Command subcoresim runs one benchmark application on one GPU
+// configuration and prints its statistics: cycles, IPC, per-sub-core
+// issue balance, stall breakdown, bank conflicts, and cache behaviour.
+//
+// Usage:
+//
+//	subcoresim -app pb-mriq
+//	subcoresim -app tpcU-q8 -assign srr -sms 20
+//	subcoresim -app rod-srad -sched rba -cus 4
+//	subcoresim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+	"repro/internal/config"
+	"repro/internal/plot"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "pb-mriq", "application name (see -list)")
+		list     = flag.Bool("list", false, "list applications and exit")
+		fc       = flag.Bool("fc", false, "use the fully-connected SM model")
+		sched    = flag.String("sched", "gto", "warp scheduler: gto, lrr, rba")
+		assign   = flag.String("assign", "rr", "sub-core assignment: rr, srr, shuffle")
+		sms      = flag.Int("sms", 4, "number of SMs")
+		cus      = flag.Int("cus", 0, "collector units per sub-core (0 = default)")
+		banks    = flag.Int("banks", 0, "register banks per sub-core (0 = default)")
+		steal    = flag.Bool("steal", false, "enable register bank stealing")
+		rbaLat   = flag.Int("rba-latency", 0, "RBA score-update latency in cycles")
+		trace    = flag.Bool("trace", false, "trace register-file reads/cycle on SM 0 and print a sparkline")
+		timeline = flag.Bool("timeline", false, "print per-sub-core issue timelines for SM 0 (imbalance view)")
+		cfgFile  = flag.String("config-file", "", "JSON file of configuration overrides (base: VoltaV100)")
+	)
+	flag.Parse()
+
+	if *list {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "name\tsuite\tsensitive\tkernels\tinstructions")
+		for _, a := range repro.Workloads() {
+			fmt.Fprintf(w, "%s\t%s\t%v\t%d\t%d\n", a.Name, a.Suite, a.Sensitive, len(a.Kernels), a.Instructions())
+		}
+		w.Flush()
+		return
+	}
+
+	app, err := repro.AppByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := repro.VoltaV100()
+	if *fc {
+		cfg = repro.FullyConnected()
+	}
+	if *cfgFile != "" {
+		f, err := os.Open(*cfgFile)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err = config.FromJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	cfg = cfg.WithSMs(*sms)
+	switch *sched {
+	case "gto":
+	case "lrr":
+		cfg = cfg.WithScheduler(repro.SchedLRR)
+	case "rba":
+		cfg = cfg.WithScheduler(repro.SchedRBA)
+	default:
+		fatal(fmt.Errorf("unknown scheduler %q", *sched))
+	}
+	switch *assign {
+	case "rr":
+	case "srr":
+		cfg = cfg.WithAssign(repro.AssignSRR)
+	case "shuffle":
+		cfg = cfg.WithAssign(repro.AssignShuffle)
+	default:
+		fatal(fmt.Errorf("unknown assignment %q", *assign))
+	}
+	if *cus > 0 {
+		cfg = cfg.WithCUs(*cus)
+	}
+	if *banks > 0 {
+		cfg = cfg.WithBanks(*banks)
+	}
+	if *steal {
+		cfg = cfg.WithBankStealing()
+	}
+	cfg.RBAScoreLatency = *rbaLat
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	var r *repro.Result
+	if *trace || *timeline {
+		g, err := repro.NewGPU(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *trace {
+			g.TraceReads(true)
+		}
+		if *timeline {
+			g.TraceIssue(32)
+		}
+		for _, k := range app.Kernels {
+			if err := g.RunKernel(k, 0); err != nil {
+				fatal(err)
+			}
+		}
+		r = g.Run()
+	} else {
+		var err error
+		r, err = repro.Run(cfg, app)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	report(cfg.Name, app.Name, r)
+	if *trace {
+		vals := make([]float64, len(r.ReadsPerCycle))
+		for i, v := range r.ReadsPerCycle {
+			vals[i] = float64(v)
+		}
+		fmt.Println("\nSM0 register reads per cycle (Fig 14 style):")
+		fmt.Println(plot.Series(appNameShort(*appName), vals, 100))
+	}
+	if *timeline {
+		fmt.Printf("\nSM0 per-sub-core instructions issued (buckets of %d cycles):\n", r.IssueBucket)
+		for sc, series := range r.IssueTimeline {
+			vals := make([]float64, len(series))
+			for i, v := range series {
+				vals[i] = float64(v)
+			}
+			fmt.Println(plot.Series(fmt.Sprintf("sub-core %d", sc), vals, 100))
+		}
+	}
+}
+
+func appNameShort(s string) string {
+	if len(s) > 20 {
+		return s[:20]
+	}
+	return s
+}
+
+func report(cfgName, appName string, r *repro.Result) {
+	fmt.Printf("app:            %s\n", appName)
+	fmt.Printf("config:         %s\n", cfgName)
+	fmt.Printf("cycles:         %d\n", r.Cycles)
+	fmt.Printf("instructions:   %d\n", r.Instructions)
+	fmt.Printf("IPC:            %.3f\n", r.IPC())
+	fmt.Printf("issue CoV:      %.3f (per-sub-core imbalance, Fig 17 metric)\n", r.IssueCoV())
+	fmt.Printf("bank conflicts: %d (%.3f per read)\n", r.TotalBankConflicts(),
+		safeDiv(r.TotalBankConflicts(), r.TotalRegReads()))
+	fmt.Println("stalls (sub-core cycles):")
+	for reason := stats.StallReason(1); reason < stats.NumStallReasons; reason++ {
+		fmt.Printf("  %-12s %d\n", reason, r.TotalStalls(reason))
+	}
+	var hits, misses int64
+	for i := range r.SMs {
+		hits += r.SMs[i].L1Hits
+		misses += r.SMs[i].L1Misses
+	}
+	if hits+misses > 0 {
+		fmt.Printf("L1 hit rate:    %.3f\n", float64(hits)/float64(hits+misses))
+	}
+}
+
+func safeDiv(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "subcoresim:", err)
+	os.Exit(1)
+}

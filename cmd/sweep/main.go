@@ -1,0 +1,133 @@
+// Command sweep runs a custom (configuration x application) matrix and
+// prints a CSV of cycles, IPC, bank conflicts, and issue CoV — the
+// building block for studies beyond the paper's figures.
+//
+// Usage:
+//
+//	sweep -apps pb-mriq,rod-srad -configs gto,rba,fc
+//	sweep -suite cugraph -configs gto,rba,srr,shuffle,fc -sms 4
+//	sweep -sensitive -configs gto,rba > rba_study.csv
+//
+// Config tokens: gto (baseline), lrr, rba, srr, shuffle, rba+shuffle,
+// rba+srr, fc, fc+rba, steal, Ncu (e.g. 4cu), Nbank (e.g. 4bank).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		appsFlag  = flag.String("apps", "", "comma-separated application names")
+		suite     = flag.String("suite", "", "run a whole suite")
+		sensitive = flag.Bool("sensitive", false, "run the Table III sensitive subset")
+		cfgsFlag  = flag.String("configs", "gto,rba", "comma-separated config tokens")
+		sms       = flag.Int("sms", 4, "number of SMs")
+	)
+	flag.Parse()
+
+	apps, err := selectApps(*appsFlag, *suite, *sensitive)
+	if err != nil {
+		fatal(err)
+	}
+	var cfgs []repro.Config
+	var names []string
+	for _, tok := range strings.Split(*cfgsFlag, ",") {
+		tok = strings.TrimSpace(tok)
+		c, err := parseConfig(tok, *sms)
+		if err != nil {
+			fatal(err)
+		}
+		cfgs = append(cfgs, c)
+		names = append(names, tok)
+	}
+
+	fmt.Print("app,config,cycles,instructions,ipc,bank_conflicts,issue_cov\n")
+	for _, app := range apps {
+		for ci, cfg := range cfgs {
+			r, err := repro.Run(cfg, app)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s,%s,%d,%d,%.4f,%d,%.4f\n",
+				app.Name, names[ci], r.Cycles, r.Instructions, r.IPC(),
+				r.TotalBankConflicts(), r.IssueCoV())
+		}
+	}
+}
+
+func selectApps(list, suite string, sensitive bool) ([]repro.App, error) {
+	switch {
+	case list != "":
+		var out []repro.App
+		for _, name := range strings.Split(list, ",") {
+			a, err := repro.AppByName(strings.TrimSpace(name))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, a)
+		}
+		return out, nil
+	case suite != "":
+		out := repro.AppsBySuite(suite)
+		if len(out) == 0 {
+			return nil, fmt.Errorf("unknown suite %q (have %v)", suite, workloads.Suites())
+		}
+		return out, nil
+	case sensitive:
+		return repro.SensitiveWorkloads(), nil
+	default:
+		return repro.Workloads(), nil
+	}
+}
+
+func parseConfig(tok string, sms int) (repro.Config, error) {
+	base := repro.VoltaV100().WithSMs(sms)
+	switch tok {
+	case "gto", "base", "":
+		return base, nil
+	case "lrr":
+		return base.WithScheduler(repro.SchedLRR), nil
+	case "rba":
+		return base.WithScheduler(repro.SchedRBA), nil
+	case "srr":
+		return base.WithAssign(repro.AssignSRR), nil
+	case "shuffle":
+		return base.WithAssign(repro.AssignShuffle), nil
+	case "rba+shuffle", "shuffle+rba":
+		return base.WithScheduler(repro.SchedRBA).WithAssign(repro.AssignShuffle), nil
+	case "rba+srr", "srr+rba":
+		return base.WithScheduler(repro.SchedRBA).WithAssign(repro.AssignSRR), nil
+	case "fc":
+		return repro.FullyConnected().WithSMs(sms), nil
+	case "fc+rba":
+		return repro.FullyConnected().WithSMs(sms).WithScheduler(repro.SchedRBA), nil
+	case "steal":
+		return base.WithBankStealing(), nil
+	}
+	if n, ok := strings.CutSuffix(tok, "cu"); ok {
+		v, err := strconv.Atoi(n)
+		if err == nil && v > 0 {
+			return base.WithCUs(v), nil
+		}
+	}
+	if n, ok := strings.CutSuffix(tok, "bank"); ok {
+		v, err := strconv.Atoi(n)
+		if err == nil && v > 0 {
+			return base.WithBanks(v), nil
+		}
+	}
+	return repro.Config{}, fmt.Errorf("unknown config token %q", tok)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

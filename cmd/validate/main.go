@@ -1,0 +1,22 @@
+// Command validate runs the hardware-correlation experiments of the
+// paper's methodology section: the Section V collector-unit count
+// validation (seven register-file stress microbenchmarks against the
+// silicon stand-in model) and the Section III-B FMA imbalance
+// microbenchmark (Figure 3).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	for _, id := range []string{"sec5cu", "fig3"} {
+		if err := repro.RenderExperiment(id, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "validate: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/workloads"
+)
+
+func main() {
+	f, _ := os.Create("docs/WORKLOADS.md")
+	defer f.Close()
+	fmt.Fprintln(f, "# Workload catalog")
+	fmt.Fprintln(f)
+	fmt.Fprintln(f, "The synthetic evaluation set: 112 applications across 8 suites")
+	fmt.Fprintln(f, "(Section V of the paper; see `internal/workloads` for the per-suite")
+	fmt.Fprintln(f, "generator parameters and DESIGN.md §2 for the substitution rationale).")
+	fmt.Fprintln(f, "Regenerate with `go run ./docs/gen`.")
+	for _, suite := range workloads.Suites() {
+		apps := workloads.BySuite(suite)
+		fmt.Fprintf(f, "\n## %s (%d apps)\n\n", suite, len(apps))
+		fmt.Fprintln(f, "| name | kernels | dynamic instructions | Table III sensitive | RF-sensitive |")
+		fmt.Fprintln(f, "|---|---|---|---|---|")
+		for _, a := range apps {
+			fmt.Fprintf(f, "| %s | %d | %d | %v | %v |\n",
+				a.Name, len(a.Kernels), a.Instructions(), a.Sensitive, a.RFSensitive)
+		}
+	}
+}

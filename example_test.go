@@ -1,0 +1,52 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The simplest use: run one of the paper's workloads on the Table II
+// baseline and inspect the result.
+func ExampleRun() {
+	cfg := repro.VoltaV100().WithSMs(2)
+	app, _ := repro.AppByName("pb-mriq")
+	res, _ := repro.Run(cfg, app)
+	fmt.Println(res.Instructions > 0, res.Cycles > 0)
+	// Output: true true
+}
+
+// Comparing the baseline against the paper's combined design.
+func ExampleConfig_WithScheduler() {
+	base := repro.VoltaV100().WithSMs(2)
+	ours := base.WithScheduler(repro.SchedRBA).WithAssign(repro.AssignShuffle)
+	app, _ := repro.AppByName("pb-sgemm")
+
+	rBase, _ := repro.Run(base, app)
+	rOurs, _ := repro.Run(ours, app)
+	fmt.Println(rOurs.Cycles < rBase.Cycles)
+	// Output: true
+}
+
+// Building a custom kernel through the workload profile API.
+func ExampleWorkloadProfile() {
+	p := repro.WorkloadProfile{
+		Name:          "my-kernel",
+		Blocks:        4,
+		WarpsPerBlock: 8,
+		RegsPerThread: 24,
+		Iters:         16,
+		ILP:           4,
+		FMAs:          3,
+	}
+	k := p.Kernel()
+	res, _ := repro.RunKernel(repro.VoltaV100().WithSMs(1), k)
+	fmt.Println(res.Instructions == k.Instructions())
+	// Output: true
+}
+
+// Enumerating the evaluation set.
+func ExampleWorkloads() {
+	fmt.Println(len(repro.Workloads()), len(repro.Suites()))
+	// Output: 112 8
+}

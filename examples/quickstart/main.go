@@ -1,0 +1,44 @@
+// Quickstart: simulate one application on the Volta baseline and on the
+// paper's proposed design (RBA warp scheduling + Shuffle sub-core
+// assignment), and report the speedup.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A register-file-bound application from the Parboil suite.
+	app, err := repro.AppByName("pb-sgemm")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Table II baseline: GTO warp scheduling, round-robin sub-core
+	// assignment, 4 sub-cores per SM with 2 banks and 2 collector units
+	// each. Scaled to 4 SMs so the example runs in milliseconds.
+	base := repro.VoltaV100().WithSMs(4)
+
+	// The paper's combined design.
+	ours := base.WithScheduler(repro.SchedRBA).WithAssign(repro.AssignShuffle)
+
+	rBase, err := repro.Run(base, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rOurs, err := repro.Run(ours, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("application:      %s (%d kernels, %d instructions)\n",
+		app.Name, len(app.Kernels), app.Instructions())
+	fmt.Printf("baseline (GTO+RR): %8d cycles  IPC %.2f  bank conflicts %d\n",
+		rBase.Cycles, rBase.IPC(), rBase.TotalBankConflicts())
+	fmt.Printf("RBA+Shuffle:       %8d cycles  IPC %.2f  bank conflicts %d\n",
+		rOurs.Cycles, rOurs.IPC(), rOurs.TotalBankConflicts())
+	fmt.Printf("speedup:           %.2fx\n", float64(rBase.Cycles)/float64(rOurs.Cycles))
+}

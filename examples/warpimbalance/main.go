@@ -1,0 +1,67 @@
+// Warp imbalance anatomy: reproduce the paper's Section III-B hardware
+// observation in simulation. A thread block whose compute warps all land
+// on one sub-core (positions 0,4,8,... under round-robin assignment)
+// crawls on a partitioned SM, while a monolithic SM does not care — and
+// the paper's hashed assignment policies recover the loss.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/workloads"
+)
+
+func main() {
+	const fmas = 1024
+	partitioned := repro.VoltaV100().WithSMs(4)
+	monolithic := repro.FullyConnected().WithSMs(4)
+
+	fmt.Println("Fig 3: FMA microbenchmark, execution time normalized to the baseline layout")
+	fmt.Printf("%-28s %10s %10s %10s\n", "device", "baseline", "balanced", "unbalanced")
+	for _, d := range []struct {
+		name string
+		cfg  repro.Config
+	}{
+		{"partitioned (Volta/Ampere)", partitioned},
+		{"monolithic (Kepler)", monolithic},
+	} {
+		var cycles [3]int64
+		for i, layout := range []workloads.FMALayout{
+			workloads.FMABaseline, workloads.FMABalanced, workloads.FMAUnbalanced,
+		} {
+			r, err := repro.RunKernel(d.cfg, workloads.FMAMicro(layout, fmas))
+			if err != nil {
+				log.Fatal(err)
+			}
+			cycles[i] = r.Cycles
+		}
+		fmt.Printf("%-28s %10.2f %10.2f %10.2f\n", d.name,
+			1.0,
+			float64(cycles[1])/float64(cycles[0]),
+			float64(cycles[2])/float64(cycles[0]))
+	}
+
+	fmt.Println()
+	fmt.Println("Fig 8: unbalanced FMA under each sub-core assignment policy (speedup vs RR)")
+	fmt.Printf("%-10s %10s %10s\n", "imbalance", "SRR", "Shuffle")
+	for _, scale := range []int{1, 2, 4, 8} {
+		k := workloads.FMAImbalanceScaled(scale)
+		base, err := repro.RunKernel(partitioned, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srr, err := repro.RunKernel(partitioned.WithAssign(repro.AssignSRR), k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		shuf, err := repro.RunKernel(partitioned.WithAssign(repro.AssignShuffle), k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("x%-9d %10.2f %10.2f\n", scale,
+			float64(base.Cycles)/float64(srr.Cycles),
+			float64(base.Cycles)/float64(shuf.Cycles))
+	}
+}

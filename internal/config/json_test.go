@@ -1,0 +1,32 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFromJSONOverrides(t *testing.T) {
+	g, err := FromJSON(strings.NewReader(`{"NumSMs": 8, "BanksPerSubCore": 4, "WarpScheduler": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumSMs != 8 || g.BanksPerSubCore != 4 || g.WarpScheduler != SchedRBA {
+		t.Errorf("overrides not applied: %+v", g)
+	}
+	// Unspecified fields keep Table II defaults.
+	if g.MaxWarpsPerSM != 64 || g.CollectorUnitsPerSubCore != 2 {
+		t.Error("defaults lost")
+	}
+}
+
+func TestFromJSONRejectsInvalid(t *testing.T) {
+	if _, err := FromJSON(strings.NewReader(`{"NumSMs": 0}`)); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := FromJSON(strings.NewReader(`{"NoSuchField": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := FromJSON(strings.NewReader(`{bad json`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+)
+
+func take(a Assigner, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = a.Next()
+	}
+	return out
+}
+
+func counts(seq []int, n int) []int {
+	c := make([]int, n)
+	for _, s := range seq {
+		c[s]++
+	}
+	return c
+}
+
+func TestNewAssignerFactory(t *testing.T) {
+	if NewAssigner(config.AssignRR, 4, 4, 1, 0).Name() != "RR" {
+		t.Error("RR factory wrong")
+	}
+	if NewAssigner(config.AssignSRR, 4, 4, 1, 0).Name() != "SRR" {
+		t.Error("SRR factory wrong")
+	}
+	if NewAssigner(config.AssignShuffle, 4, 4, 1, 0).Name() != "Shuffle" {
+		t.Error("Shuffle factory wrong")
+	}
+}
+
+func TestNewAssignerPanicsOnZeroSubCores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewAssigner(config.AssignRR, 0, 4, 1, 0)
+}
+
+func TestRoundRobinSequence(t *testing.T) {
+	a := NewAssigner(config.AssignRR, 4, 4, 1, 0)
+	got := take(a, 8)
+	want := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RR sequence = %v, want %v", got, want)
+		}
+	}
+	a.Reset()
+	if a.Next() != 0 {
+		t.Error("Reset did not rewind RR")
+	}
+}
+
+// TestSRRMatchesEquation1 pins SRR to the paper's Equation (1):
+// subcoreID = (W + floor(W/N)) mod N.
+func TestSRRMatchesEquation1(t *testing.T) {
+	const n = 4
+	a := NewAssigner(config.AssignSRR, n, 4, 1, 0)
+	for w := 0; w < 64; w++ {
+		want := (w + w/n) % n
+		if got := a.Next(); got != want {
+			t.Fatalf("SRR(W=%d) = %d, want %d", w, got, want)
+		}
+	}
+}
+
+// TestSRRSpreadsEveryFourthWarp verifies the design goal: with one long
+// warp every 4 warps (warpID % 4 == 0, the TPC-H pattern), RR sends every
+// long warp to sub-core 0 while SRR spreads them evenly.
+func TestSRRSpreadsEveryFourthWarp(t *testing.T) {
+	const n, warps = 4, 64
+	rr := NewAssigner(config.AssignRR, n, 4, 1, 0)
+	srr := NewAssigner(config.AssignSRR, n, 4, 1, 0)
+	rrLong := make([]int, n)
+	srrLong := make([]int, n)
+	for w := 0; w < warps; w++ {
+		r, s := rr.Next(), srr.Next()
+		if w%4 == 0 {
+			rrLong[r]++
+			srrLong[s]++
+		}
+	}
+	if rrLong[0] != warps/4 {
+		t.Errorf("RR long-warp placement = %v, want all on sub-core 0", rrLong)
+	}
+	for sc, c := range srrLong {
+		if c != warps/4/n {
+			t.Errorf("SRR long-warp placement = %v, want even %d each (sub-core %d)", srrLong, warps/4/n, sc)
+		}
+	}
+}
+
+func TestSRRBalanced(t *testing.T) {
+	a := NewAssigner(config.AssignSRR, 4, 4, 1, 0)
+	c := counts(take(a, 64), 4)
+	for sc, n := range c {
+		if n != 16 {
+			t.Errorf("SRR count[%d] = %d, want 16", sc, n)
+		}
+	}
+}
+
+func TestShuffleBalancedWithinOne(t *testing.T) {
+	a := NewAssigner(config.AssignShuffle, 4, 4, 99, 3)
+	seq := take(a, 64)
+	// Any prefix must be balanced within +/-1 (the paper's guarantee).
+	for p := 1; p <= len(seq); p++ {
+		c := counts(seq[:p], 4)
+		lo, hi := c[0], c[0]
+		for _, v := range c {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi-lo > 1 {
+			t.Fatalf("prefix %d unbalanced: %v", p, c)
+		}
+	}
+}
+
+func TestShuffleTableWraps(t *testing.T) {
+	// 4-entry table encodes 16 assignments; warp 17 reuses entry 0's
+	// pattern (Section IV-B1).
+	a := NewShuffle(4, 4, 7, 0)
+	first := take(a, 16)
+	second := take(a, 16)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("4-entry table did not wrap at warp 16: %v vs %v", first, second)
+		}
+	}
+	// 16-entry table holds 64 unique assignments: the first 16 need not
+	// repeat at warp 16.
+	b := NewShuffle(4, 16, 7, 0)
+	if len(b.Table()) != 64 {
+		t.Errorf("16-entry table holds %d assignments, want 64", len(b.Table()))
+	}
+}
+
+func TestShuffleDeterministicPerSeed(t *testing.T) {
+	a := NewShuffle(4, 4, 42, 1)
+	b := NewShuffle(4, 4, 42, 1)
+	c := NewShuffle(4, 4, 42, 2)
+	sa, sb, sc := take(a, 16), take(b, 16), take(c, 16)
+	diff := false
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("same (seed, SM) produced different tables")
+		}
+		if sa[i] != sc[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different SMs should (almost surely) shuffle differently")
+	}
+}
+
+func TestShuffleResetRestartsSequence(t *testing.T) {
+	a := NewShuffle(4, 4, 5, 0)
+	first := take(a, 5)
+	a.Reset()
+	again := take(a, 5)
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatal("Reset did not restart the shuffle sequence")
+		}
+	}
+}
+
+func TestEncodeDecodeEntryRoundTrip(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		in := [4]uint8{a % 4, b % 4, c % 4, d % 4}
+		return DecodeEntry(EncodeEntry(in)) == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeEntryBitLayout(t *testing.T) {
+	// Fig 7: upper 4 bits drive select line 0 (high bit of each sub-core
+	// id), lower 4 bits drive select line 1 (low bit), one bit per warp
+	// in order.
+	b := EncodeEntry([4]uint8{3, 0, 2, 1})
+	// sel0 bits: 1,0,1,0 -> 1010; sel1 bits: 1,0,0,1 -> 1001.
+	if b != 0b1010_1001 {
+		t.Errorf("EncodeEntry = %08b, want 10101001", b)
+	}
+}
+
+func TestEncodeEntryPanicsOnBigSubCore(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	EncodeEntry([4]uint8{4, 0, 0, 0})
+}
+
+func TestEncodeTable(t *testing.T) {
+	s := NewShuffle(4, 4, 11, 0)
+	enc, err := EncodeTable(s.Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != 4 {
+		t.Fatalf("encoded table = %d bytes, want 4 (the paper's 4-byte table)", len(enc))
+	}
+	for i, e := range enc {
+		dec := DecodeEntry(e)
+		for j := 0; j < 4; j++ {
+			if dec[j] != s.Table()[i*4+j] {
+				t.Fatal("encoded table does not round-trip")
+			}
+		}
+	}
+	if _, err := EncodeTable([]uint8{0, 1, 2}); err == nil {
+		t.Error("non-multiple-of-4 table accepted")
+	}
+}
+
+// Property: every assigner keeps counts within +/-1 on any prefix for
+// N = 4 (the paper's balance guarantee holds for RR, SRR and Shuffle).
+func TestAllPoliciesBalancedProperty(t *testing.T) {
+	f := func(seed int64, prefix uint8) bool {
+		p := int(prefix)%64 + 1
+		for _, pol := range []config.Assign{config.AssignRR, config.AssignSRR, config.AssignShuffle} {
+			a := NewAssigner(pol, 4, 4, seed, 0)
+			c := counts(take(a, p), 4)
+			lo, hi := c[0], c[0]
+			for _, v := range c {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if hi-lo > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+)
+
+func TestNewWarpScheduler(t *testing.T) {
+	if NewWarpScheduler(config.SchedGTO).Name() != "GTO" {
+		t.Error("GTO factory wrong")
+	}
+	if NewWarpScheduler(config.SchedLRR).Name() != "LRR" {
+		t.Error("LRR factory wrong")
+	}
+	if NewWarpScheduler(config.SchedRBA).Name() != "RBA" {
+		t.Error("RBA factory wrong")
+	}
+}
+
+func TestGTOGreedyThenOldest(t *testing.T) {
+	g := &GTO{}
+	cands := []Candidate{{Slot: 3, Age: 30}, {Slot: 1, Age: 10}, {Slot: 2, Age: 20}}
+	// No history: oldest (age 10, slot 1).
+	if i := g.Pick(cands); cands[i].Slot != 1 {
+		t.Fatalf("picked slot %d, want 1 (oldest)", cands[i].Slot)
+	}
+	g.NotifyIssued(2)
+	// Greedy: slot 2 is ready, keep issuing it despite being younger.
+	if i := g.Pick(cands); cands[i].Slot != 2 {
+		t.Fatalf("picked slot %d, want 2 (greedy)", cands[i].Slot)
+	}
+	// Greedy warp gone: back to oldest.
+	cands2 := []Candidate{{Slot: 3, Age: 30}, {Slot: 1, Age: 10}}
+	if i := g.Pick(cands2); cands2[i].Slot != 1 {
+		t.Fatalf("picked slot %d, want 1", cands2[i].Slot)
+	}
+	g.Reset()
+	g2 := []Candidate{{Slot: 2, Age: 20}, {Slot: 5, Age: 5}}
+	if i := g.Pick(g2); g2[i].Slot != 5 {
+		t.Fatal("Reset did not clear greedy history")
+	}
+	if g.Pick(nil) != -1 {
+		t.Error("empty candidates must return -1")
+	}
+}
+
+func TestGTOGreedyCandidateFirstPosition(t *testing.T) {
+	g := &GTO{}
+	g.NotifyIssued(7)
+	cands := []Candidate{{Slot: 7, Age: 99}, {Slot: 1, Age: 1}}
+	if i := g.Pick(cands); cands[i].Slot != 7 {
+		t.Error("greedy slot at index 0 not honored")
+	}
+}
+
+func TestLRRRotation(t *testing.T) {
+	l := &LRR{}
+	cands := []Candidate{{Slot: 0}, {Slot: 1}, {Slot: 2}}
+	order := []int{}
+	for i := 0; i < 6; i++ {
+		p := l.Pick(cands)
+		order = append(order, cands[p].Slot)
+		l.NotifyIssued(cands[p].Slot)
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("rotation = %v, want %v", order, want)
+		}
+	}
+	// Pointer past all slots wraps to the lowest.
+	l.NotifyIssued(2)
+	if p := l.Pick(cands); cands[p].Slot != 0 {
+		t.Error("LRR did not wrap")
+	}
+	if l.Pick(nil) != -1 {
+		t.Error("empty candidates must return -1")
+	}
+	l.Reset()
+	if p := l.Pick(cands); cands[p].Slot != 0 {
+		t.Error("Reset did not rewind pointer")
+	}
+}
+
+func TestRBALowestScoreThenOldest(t *testing.T) {
+	r := &RBA{}
+	cands := []Candidate{
+		{Slot: 0, Age: 5, Score: 4},
+		{Slot: 1, Age: 9, Score: 2},
+		{Slot: 2, Age: 1, Score: 2},
+		{Slot: 3, Age: 0, Score: 7},
+	}
+	// Lowest score 2 shared by slots 1 and 2; older (age 1) wins.
+	if i := r.Pick(cands); cands[i].Slot != 2 {
+		t.Fatalf("picked slot %d, want 2", cands[i].Slot)
+	}
+	if r.Pick(nil) != -1 {
+		t.Error("empty candidates must return -1")
+	}
+	r.NotifyIssued(0) // no-op, must not panic
+	r.Reset()
+}
+
+func TestScore(t *testing.T) {
+	qlens := []int{3, 1}
+	queueLen := func(b int) int { return qlens[b] }
+	bankOf := func(r isa.Reg) int { return int(r) % 2 }
+	// FMA R4 <- R1(b1), R2(b0), R3(b1): 1 + 3 + 1 = 5.
+	in := isa.MakeFMA(4, 1, 2, 3)
+	if got := Score(&in, bankOf, queueLen); got != 5 {
+		t.Errorf("Score = %d, want 5", got)
+	}
+	// Two operands in the same bank count the queue twice (paper's
+	// example: score = 2*len(q0) + len(q1)).
+	in2 := isa.MakeFMA(4, 0, 2, 1) // b0, b0, b1
+	if got := Score(&in2, bankOf, queueLen); got != 7 {
+		t.Errorf("Score = %d, want 7", got)
+	}
+	// Zero-source instructions score 0.
+	bar := isa.MakeBar()
+	if got := Score(&bar, bankOf, queueLen); got != 0 {
+		t.Errorf("BAR Score = %d, want 0", got)
+	}
+}
+
+func TestScoreSaturates(t *testing.T) {
+	queueLen := func(int) int { return 100 }
+	bankOf := func(isa.Reg) int { return 0 }
+	in := isa.MakeFMA(4, 1, 2, 3)
+	if got := Score(&in, bankOf, queueLen); got != MaxScore {
+		t.Errorf("Score = %d, want saturation at %d", got, MaxScore)
+	}
+	if MaxScore != 31 {
+		t.Errorf("MaxScore = %d, want 31 (5-bit field)", MaxScore)
+	}
+}
+
+func TestRBAPrefersIdleBanks(t *testing.T) {
+	// Scenario from Section IV-A: two ready warps, one whose operands sit
+	// in congested banks, one whose operands sit in idle banks. RBA must
+	// pick the idle-bank warp even though the other is older.
+	r := &RBA{}
+	congested := Candidate{Slot: 0, Age: 0, Score: 6}
+	idle := Candidate{Slot: 1, Age: 100, Score: 0}
+	if i := r.Pick([]Candidate{congested, idle}); i != 1 {
+		t.Error("RBA picked the congested warp")
+	}
+	// GTO, blind to scores, picks the older congested warp.
+	g := &GTO{}
+	if i := g.Pick([]Candidate{congested, idle}); i != 0 {
+		t.Error("GTO should pick by age")
+	}
+}

@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/workloads"
+)
+
+// AblSched compares all three warp schedulers on the sensitive subset.
+// LRR is the classic alternative baseline; the paper's Table II baseline
+// is GTO. The ablation shows RBA's gain is not an artifact of a weak
+// baseline: GTO beats LRR, and RBA beats GTO.
+func AblSched() (*Table, error) {
+	apps := workloads.Sensitive()
+	cfgs := []config.GPU{
+		Base(),
+		Base().WithScheduler(config.SchedLRR),
+		Base().WithScheduler(config.SchedRBA),
+	}
+	cyc, err := Sweep(cfgs, apps)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "abl-sched",
+		Title:   "Warp scheduler ablation (speedup vs GTO)",
+		Columns: []string{"lrr", "rba"},
+	}
+	for i, a := range apps {
+		t.AddRow(a.Name, Speedup(cyc[i][0], cyc[i][1]), Speedup(cyc[i][0], cyc[i][2]))
+	}
+	t.GeoMeanRow("geomean")
+	t.Note("GTO is the stronger baseline; RBA's gain is on top of it")
+	return t, nil
+}
+
+// AblTableSize compares the 4-entry and 16-entry Shuffle hash tables on
+// the TPC-H suites. Paper (Section IV-B3): the full 64-warp table is
+// within 2%% of the 4-entry table, so the cheap table suffices.
+func AblTableSize() (*Table, error) {
+	apps := append(workloads.BySuite("tpch-u"), workloads.BySuite("tpch-c")...)
+	small := Base().WithAssign(config.AssignShuffle)
+	big := Base().WithAssign(config.AssignShuffle)
+	big.HashTableEntries = 16
+	big.Name += "+16entry"
+	cfgs := []config.GPU{Base(), small, big}
+	cyc, err := Sweep(cfgs, apps)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "abl-table",
+		Title:   "Shuffle hash-table size: 4 vs 16 entries (speedup vs RR)",
+		Columns: []string{"4-entry", "16-entry"},
+	}
+	for i, a := range apps {
+		t.AddRow(a.Name, Speedup(cyc[i][0], cyc[i][1]), Speedup(cyc[i][0], cyc[i][2]))
+	}
+	t.MeanRow("mean")
+	t.Note("paper: 16-entry within 2%% of 4-entry across all suites")
+	return t, nil
+}
+
+// AblSwizzle evaluates the register-to-bank mapping choice this
+// implementation exposes: Volta's plain reg-mod-banks mapping versus a
+// per-warp-slot scrambled mapping, for both GTO and RBA. A hardware
+// swizzle de-correlates co-resident warps' bank pressure, attacking the
+// same problem as RBA from the mapping side.
+func AblSwizzle() (*Table, error) {
+	apps := workloads.RFSensitive()
+	mk := func(swizzle bool, sched config.WarpSched, tag string) config.GPU {
+		c := Base().WithScheduler(sched)
+		c.BankSwizzle = swizzle
+		c.Name += tag
+		return c
+	}
+	cfgs := []config.GPU{
+		mk(true, config.SchedGTO, ""),           // baseline (swizzled, default)
+		mk(false, config.SchedGTO, "+plainmap"), // silicon mapping
+		mk(true, config.SchedRBA, ""),
+		mk(false, config.SchedRBA, "+plainmap"),
+	}
+	cyc, err := Sweep(cfgs, apps)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "abl-swizzle",
+		Title:   "Bank-mapping ablation (speedup vs swizzled GTO)",
+		Columns: []string{"plain-gto", "swizzled-rba", "plain-rba"},
+	}
+	for i, a := range apps {
+		t.AddRow(a.Name,
+			Speedup(cyc[i][0], cyc[i][1]),
+			Speedup(cyc[i][0], cyc[i][2]),
+			Speedup(cyc[i][0], cyc[i][3]))
+	}
+	t.GeoMeanRow("geomean")
+	t.Note("the scrambled mapping is itself worth performance; RBA adds scheduling on top")
+	return t, nil
+}
+
+// AblPartition sweeps the partitioning degree at constant total SM
+// capacity: 1 (monolithic), 2 (Maxwell/Pascal-style), 4 (Volta/Ampere).
+// More partitions cost more performance but save area/power — the trend
+// that motivated sub-cores in the first place (Section II-A).
+func AblPartition() (*Table, error) {
+	apps := workloads.Sensitive()
+	mk := func(d int) config.GPU {
+		g := Base()
+		g.Name = fmt.Sprintf("partition-%d", d)
+		g.SubCoresPerSM = d
+		g.SchedulersPerSubCore = 4 / d
+		g.BanksPerSubCore = 8 / d
+		g.CollectorUnitsPerSubCore = 8 / d
+		g.DispatchPortsPerSubCore = 8 / d
+		g.RegFileKBPerSubCore = 256 / d
+		g.FP32LanesPerSubCore = 64 / d
+		g.IntLanesPerSubCore = 64 / d
+		g.SFULanesPerSubCore = 16 / d
+		g.TensorPerSubCore = 4 / d
+		return g
+	}
+	cfgs := []config.GPU{mk(4), mk(2), mk(1)}
+	cyc, err := Sweep(cfgs, apps)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "abl-partition",
+		Title:   "Partitioning degree at constant capacity (speedup vs 4 sub-cores)",
+		Columns: []string{"2-subcores", "monolithic"},
+	}
+	for i, a := range apps {
+		t.AddRow(a.Name, Speedup(cyc[i][0], cyc[i][1]), Speedup(cyc[i][0], cyc[i][2]))
+	}
+	t.GeoMeanRow("geomean")
+	t.Note("halving the partitioning recovers part of the monolithic SM's advantage")
+	return t, nil
+}

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/workloads"
+)
+
+// Sec1Effects quantifies the four orthogonal partitioning effects of
+// Section I with targeted microbenchmarks, reporting the fully-connected
+// SM's speedup over the partitioned baseline for each, plus the cheap
+// mitigation the paper proposes where one exists. The paper's finding:
+// effects 1 (bank conflicts) and 2 (issue imbalance) dominate in
+// practice; 3 (EU diversity) and 4 (register capacity) are real but
+// second-order for most workloads.
+func Sec1Effects() (*Table, error) {
+	t := &Table{
+		ID:      "sec1effects",
+		Title:   "The four partitioning effects: fully-connected speedup and proposed mitigation",
+		Columns: []string{"fully-connected", "mitigation"},
+	}
+
+	runOne := func(cfg config.GPU, ks ...*gpu.Kernel) (int64, error) {
+		g, err := gpu.New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		if err := g.RunConcurrent(ks, 0); err != nil {
+			return 0, err
+		}
+		return g.Run().Cycles, nil
+	}
+
+	type effect struct {
+		label      string
+		kernels    func() []*gpu.Kernel
+		mitigation config.GPU
+	}
+	fatThin := func() []*gpu.Kernel {
+		fat, thin := workloads.RegCapacityPair()
+		return []*gpu.Kernel{fat, thin}
+	}
+	effects := []effect{
+		{
+			label:      "1:bank-conflicts",
+			kernels:    func() []*gpu.Kernel { return []*gpu.Kernel{workloads.BankConflictMicro()} },
+			mitigation: Base().WithScheduler(config.SchedRBA),
+		},
+		{
+			label:      "2:issue-imbalance",
+			kernels:    func() []*gpu.Kernel { return []*gpu.Kernel{workloads.FMAMicro(workloads.FMAUnbalanced, 1024)} },
+			mitigation: Base().WithAssign(config.AssignSRR),
+		},
+		{
+			label:      "3:eu-diversity",
+			kernels:    func() []*gpu.Kernel { return []*gpu.Kernel{workloads.EUDiverseMicro()} },
+			mitigation: Base().WithAssign(config.AssignSRR),
+		},
+		{
+			label:      "4:register-capacity",
+			kernels:    fatThin,
+			mitigation: Base(), // no cheap mitigation proposed; column repeats baseline
+		},
+	}
+	for _, e := range effects {
+		base, err := runOne(Base(), e.kernels()...)
+		if err != nil {
+			return nil, fmt.Errorf("%s base: %w", e.label, err)
+		}
+		fc, err := runOne(FC(), e.kernels()...)
+		if err != nil {
+			return nil, fmt.Errorf("%s fc: %w", e.label, err)
+		}
+		mit, err := runOne(e.mitigation, e.kernels()...)
+		if err != nil {
+			return nil, fmt.Errorf("%s mitigation: %w", e.label, err)
+		}
+		t.AddRow(e.label, Speedup(base, fc), Speedup(base, mit))
+	}
+	t.Note("mitigations: RBA for effect 1, SRR for effects 2-3; effect 4 has no cheap fix (column = 1.0)")
+	t.Note("paper: effects 1 and 2 account for the majority of sub-core performance loss in practice")
+	t.Note("effect 4 measures ~1.0 here: round-robin placement keeps per-sub-core occupancy balanced, so")
+	t.Note("fragmentation rarely strands capacity — matching the paper's finding that effects 3-4 are second-order")
+	return t, nil
+}

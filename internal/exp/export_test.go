@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func exportFixture() *Table {
+	t := &Table{ID: "fx", Title: "fixture", Columns: []string{"a", "b"}}
+	t.AddRow("r1", 1.5, 2.25)
+	t.AddRow("r2", 3, 4)
+	t.Note("a note")
+	return t
+}
+
+func TestRenderCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := exportFixture().RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	if recs[0][0] != "name" || recs[0][2] != "b" {
+		t.Errorf("header = %v", recs[0])
+	}
+	if recs[1][0] != "r1" || recs[1][1] != "1.500000" {
+		t.Errorf("row = %v", recs[1])
+	}
+}
+
+func TestRenderJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := exportFixture().RenderJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ID      string   `json:"id"`
+		Columns []string `json:"columns"`
+		Rows    []struct {
+			Name   string    `json:"name"`
+			Values []float64 `json:"values"`
+		} `json:"rows"`
+		Notes []string `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "fx" || len(got.Rows) != 2 || got.Rows[1].Values[1] != 4 {
+		t.Errorf("decoded = %+v", got)
+	}
+	if len(got.Notes) != 1 {
+		t.Error("notes missing")
+	}
+}
+
+func TestRenderAs(t *testing.T) {
+	var sb strings.Builder
+	for _, f := range []string{"", "text", "csv", "json"} {
+		sb.Reset()
+		if err := exportFixture().RenderAs(&sb, f); err != nil {
+			t.Errorf("format %q: %v", f, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("format %q rendered nothing", f)
+		}
+	}
+	if err := exportFixture().RenderAs(&sb, "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	var sb strings.Builder
+	if err := exportFixture().RenderMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"### fx: fixture", "| name | a | b |", "| r1 | 1.500 | 2.250 |", "> a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/workloads"
+)
+
+// Fig3 reproduces Figure 3: the FMA microbenchmark's slowdown under the
+// three Fig. 4 thread-block layouts, on a partitioned (Volta/Ampere-like)
+// and a monolithic (Kepler-like) SM. Each value is execution time
+// normalized to the baseline layout on the same device. Paper: the
+// unbalanced layout runs 3.9x slower on the A100 and ~1x on Kepler.
+func Fig3() (*Table, error) {
+	const fmas = 1024
+	devices := []struct {
+		label string
+		cfg   config.GPU
+	}{
+		{"partitioned(volta/ampere)", Base()},
+		{"monolithic(kepler)", scale(config.KeplerLike())},
+	}
+	t := &Table{
+		ID:      "fig3",
+		Title:   "FMA microbenchmark: execution time normalized to the baseline layout",
+		Columns: []string{"baseline", "balanced", "unbalanced"},
+	}
+	for _, d := range devices {
+		var times [3]float64
+		for li, layout := range []workloads.FMALayout{workloads.FMABaseline, workloads.FMABalanced, workloads.FMAUnbalanced} {
+			r, err := RunKernelOn(d.cfg, workloads.FMAMicro(layout, fmas))
+			if err != nil {
+				return nil, err
+			}
+			times[li] = float64(r.Cycles)
+		}
+		t.AddRow(d.label, 1.0, times[1]/times[0], times[2]/times[0])
+	}
+	t.Note("paper: unbalanced is 3.9x on A100, ~3.5x on V100, ~1x on Kepler; balanced ~1x everywhere")
+	return t, nil
+}
+
+// Fig8 reproduces Figure 8: performance of the unbalanced FMA kernel as
+// the imbalance magnitude scales, for each sub-core assignment design
+// (speedup over round robin at the same scale). Paper: SRR balances the
+// 1-in-4 pattern perfectly; Shuffle's randomization is increasingly
+// suboptimal as imbalance grows but still far ahead of round robin.
+func Fig8() (*Table, error) {
+	scales := []int{1, 2, 4, 8}
+	cfgs := []config.GPU{
+		Base(),
+		Base().WithAssign(config.AssignSRR),
+		Base().WithAssign(config.AssignShuffle),
+	}
+	t := &Table{
+		ID:      "fig8",
+		Title:   "Unbalanced FMA as imbalance scales: speedup vs round robin",
+		Columns: []string{"srr", "shuffle"},
+	}
+	for _, sc := range scales {
+		k := workloads.FMAImbalanceScaled(sc)
+		var cycles [3]int64
+		for ci, cfg := range cfgs {
+			r, err := RunKernelOn(cfg, k)
+			if err != nil {
+				return nil, err
+			}
+			cycles[ci] = r.Cycles
+		}
+		t.AddRow(rowLabel("scale", sc),
+			Speedup(cycles[0], cycles[1]),
+			Speedup(cycles[0], cycles[2]))
+	}
+	t.Note("paper: SRR stays optimal for the 1-in-4 pattern; Shuffle trails SRR and the gap grows with imbalance")
+	return t, nil
+}
+
+// referenceCycles is the stand-in for the paper's in-silicon V100
+// measurements of the seven RF-stress microbenchmarks (Section V). It is
+// an analytic steady-state model, derived without reference to the
+// simulator: per sub-core, throughput is the tightest of the FP32
+// initiation limit, the issue-port limit, and the bank-bandwidth limit,
+// plus a pipeline ramp.
+func referenceCycles(variant int, cfg config.GPU) float64 {
+	k := workloads.RFStressMicro(variant)
+	// Dynamic instructions per sub-core: warps divide evenly; each block
+	// has identical warps.
+	totalInstr := float64(k.Instructions())
+	perSubCore := totalInstr / float64(cfg.NumSMs*cfg.SubCoresPerSM)
+
+	// Average register reads per instruction across the program.
+	prog := k.WarpProgram(0, 0)
+	cur := prog.Cursor()
+	var reads, instrs float64
+	for {
+		in, ok := cur.Next()
+		if !ok {
+			break
+		}
+		instrs++
+		reads += float64(in.NumSrcs())
+	}
+	avgReads := reads / instrs
+
+	fp32 := 1.0 / float64(isa.InitiationInterval(cfg.FP32LanesPerSubCore))
+	if cfg.FP32LanesPerSubCore > 16 {
+		fp32 = float64(cfg.FP32LanesPerSubCore/16) / 2
+	}
+	issue := float64(cfg.SchedulersPerSubCore)
+	bank := float64(cfg.BanksPerSubCore) / avgReads
+	tp := math.Min(fp32, math.Min(issue, bank))
+	const ramp = 300 // fill/drain and block-scheduling overhead
+	return perSubCore/tp + ramp
+}
+
+// Sec5CU reproduces the Section V collector-unit validation: cycle counts
+// of the seven RF-stress microbenchmarks simulated with 1-4 CUs per
+// sub-core, scored by mean absolute error against the silicon stand-in.
+// Paper: 2 CUs/sub-core minimizes MAE at 16.2%; the worst configuration
+// errs by 43%.
+func Sec5CU() (*Table, error) {
+	cus := []int{1, 2, 3, 4}
+	t := &Table{
+		ID:      "sec5cu",
+		Title:   "RF-stress microbenchmarks: simulated/reference cycle ratio per CU count",
+		Columns: []string{"1cu", "2cu", "3cu", "4cu"},
+	}
+	errs := make([][]float64, len(cus))
+	for v := 0; v < workloads.NumRFStressMicros; v++ {
+		row := make([]float64, len(cus))
+		for ci, n := range cus {
+			cfg := Base().WithCUs(n)
+			r, err := RunKernelOn(cfg, workloads.RFStressMicro(v))
+			if err != nil {
+				return nil, err
+			}
+			ref := referenceCycles(v, cfg)
+			ratio := float64(r.Cycles) / ref
+			row[ci] = ratio
+			errs[ci] = append(errs[ci], math.Abs(ratio-1))
+		}
+		t.AddRow(fmt.Sprintf("rfstress-%d", v), row...)
+	}
+	mae := make([]float64, len(cus))
+	for ci := range cus {
+		var s float64
+		for _, e := range errs[ci] {
+			s += e
+		}
+		mae[ci] = s / float64(len(errs[ci]))
+	}
+	t.AddRow("MAE", mae...)
+	t.Note("paper: 2 CUs/sub-core gives the lowest MAE (16.2%%) against silicon; worst config 43%%")
+	return t, nil
+}
+
+// All runs every experiment and returns the tables in paper order.
+func All() ([]*Table, error) {
+	type fn struct {
+		name string
+		f    func() (*Table, error)
+	}
+	fns := []fn{
+		{"sec1effects", Sec1Effects},
+		{"fig1", Fig1}, {"fig3", Fig3}, {"fig8", Fig8}, {"fig9", Fig9},
+		{"fig10", Fig10}, {"fig11", Fig11}, {"fig12", Fig12},
+		{"fig13", Fig13}, {"fig14", Fig14}, {"fig15", Fig15},
+		{"fig16", Fig16}, {"fig17", Fig17}, {"fig18", Fig18},
+		{"sec5cu", Sec5CU}, {"sec6b4", Sec6B4}, {"sec6b5", Sec6B5},
+		{"abl-sched", AblSched}, {"abl-table", AblTableSize},
+		{"abl-swizzle", AblSwizzle}, {"abl-partition", AblPartition},
+	}
+	var out []*Table
+	for _, e := range fns {
+		tbl, err := e.f()
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", e.name, err)
+		}
+		out = append(out, tbl)
+	}
+	return out, nil
+}
+
+// ByID runs one experiment by identifier.
+func ByID(id string) (*Table, error) {
+	m := map[string]func() (*Table, error){
+		"sec1effects": Sec1Effects,
+		"fig1":        Fig1, "fig3": Fig3, "fig8": Fig8, "fig9": Fig9,
+		"fig10": Fig10, "fig11": Fig11, "fig12": Fig12, "fig13": Fig13,
+		"fig14": Fig14, "fig15": Fig15, "fig16": Fig16, "fig17": Fig17,
+		"fig18": Fig18, "sec5cu": Sec5CU, "sec6b4": Sec6B4, "sec6b5": Sec6B5,
+		"abl-sched": AblSched, "abl-table": AblTableSize,
+		"abl-swizzle": AblSwizzle, "abl-partition": AblPartition,
+	}
+	f, ok := m[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q", id)
+	}
+	return f()
+}
+
+// IDs lists the experiment identifiers in paper order.
+func IDs() []string {
+	return []string{
+		"sec1effects",
+		"fig1", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+		"fig14", "fig15", "fig16", "fig17", "fig18", "sec5cu", "sec6b4", "sec6b5",
+		"abl-sched", "abl-table", "abl-swizzle", "abl-partition",
+	}
+}

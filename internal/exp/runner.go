@@ -1,0 +1,184 @@
+// Package exp reproduces every table and figure of the paper's evaluation
+// (Section VI). Each Fig*/Sec* function runs the required configurations
+// over the required workloads and returns a Table whose rows mirror the
+// published artifact. EXPERIMENTS.md records paper-vs-measured values.
+//
+// Experiments run on a scaled-down device (4 SMs instead of 80, with
+// DRAM/L2 bandwidth scaled proportionally) so that full 112-application
+// sweeps complete in seconds. The studied effects are per-SM, so the
+// scaling preserves every result shape; the SM-count study (Fig. 18)
+// sweeps the SM count explicitly.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// ScaledSMs is the SM count experiments run with.
+const ScaledSMs = 4
+
+// Base returns the scaled-down Table II baseline (GTO + RR).
+func Base() config.GPU {
+	g := config.VoltaV100()
+	return scale(g)
+}
+
+// FC returns the scaled-down fully-connected SM.
+func FC() config.GPU {
+	g := config.FullyConnected()
+	return scale(g)
+}
+
+func scale(g config.GPU) config.GPU {
+	factor := g.NumSMs / ScaledSMs
+	g.NumSMs = ScaledSMs
+	g.DRAMBytesPerCycle /= factor
+	g.L2BytesPerCycle /= factor
+	g.L2KB /= factor
+	if g.L2KB < 64 {
+		g.L2KB = 64
+	}
+	g.Name = g.Name + "-scaled"
+	return g
+}
+
+// DeviceFor adapts a scaled configuration to an application's suite:
+// TPC-H runs with the paper's 20-SM memory-bandwidth share (Table II — the
+// full device memory system behind a quarter of the SMs, i.e. 4x the
+// per-SM bandwidth of the 80-SM configuration).
+func DeviceFor(cfg config.GPU, app workloads.App) config.GPU {
+	if app.Suite == "tpch-u" || app.Suite == "tpch-c" {
+		cfg.DRAMBytesPerCycle *= 4
+		cfg.L2BytesPerCycle *= 4
+	}
+	return cfg
+}
+
+// RunApp simulates one application on one configuration (adapted per
+// suite, see DeviceFor) and returns its statistics.
+func RunApp(cfg config.GPU, app workloads.App) (*stats.Run, error) {
+	cfg = DeviceFor(cfg, app)
+	return runAppRaw(cfg, app)
+}
+
+func runAppRaw(cfg config.GPU, app workloads.App) (*stats.Run, error) {
+	g, err := gpu.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.RunKernels(app.Kernels, 0); err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", app.Name, cfg.Name, err)
+	}
+	return g.Run(), nil
+}
+
+// newTracedGPU builds a device with the Fig. 14 per-cycle register-read
+// trace armed on SM 0.
+func newTracedGPU(cfg config.GPU) (*gpu.GPU, error) {
+	g, err := gpu.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	g.TraceReads(true)
+	return g, nil
+}
+
+// RunKernelOn simulates a single standalone kernel (microbenchmarks).
+func RunKernelOn(cfg config.GPU, k *gpu.Kernel) (*stats.Run, error) {
+	g, err := gpu.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.RunKernel(k, 0); err != nil {
+		return nil, err
+	}
+	return g.Run(), nil
+}
+
+// job is one (application, configuration) cell of a sweep.
+type job struct {
+	app int
+	cfg int
+}
+
+// Sweep simulates every app on every configuration in parallel and
+// returns cycles[app][cfg]. Any failure aborts with its error.
+func Sweep(cfgs []config.GPU, apps []workloads.App) ([][]int64, error) {
+	cycles := make([][]int64, len(apps))
+	for i := range cycles {
+		cycles[i] = make([]int64, len(cfgs))
+	}
+	runs, err := SweepRuns(cfgs, apps)
+	if err != nil {
+		return nil, err
+	}
+	for i := range apps {
+		for j := range cfgs {
+			cycles[i][j] = runs[i][j].Cycles
+		}
+	}
+	return cycles, nil
+}
+
+// SweepRuns is Sweep keeping the full per-run statistics.
+func SweepRuns(cfgs []config.GPU, apps []workloads.App) ([][]*stats.Run, error) {
+	out := make([][]*stats.Run, len(apps))
+	for i := range out {
+		out[i] = make([]*stats.Run, len(cfgs))
+	}
+	jobs := make(chan job)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(apps)*len(cfgs) {
+		workers = len(apps) * len(cfgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r, err := RunApp(cfgs[j.cfg], apps[j.app])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[j.app][j.cfg] = r
+			}
+		}()
+	}
+	for a := range apps {
+		for c := range cfgs {
+			jobs <- job{app: a, cfg: c}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Speedup converts (baseline, variant) cycle counts to a speedup factor.
+func Speedup(base, variant int64) float64 {
+	if variant == 0 {
+		return 0
+	}
+	return float64(base) / float64(variant)
+}

@@ -1,0 +1,308 @@
+// Package gpu assembles the full device: the SM array over a shared
+// memory hierarchy, and the thread-block scheduler that launches kernel
+// grids onto SMs as resources free up (block granularity, Table I's
+// third scheduler level).
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/mem"
+	"repro/internal/program"
+	"repro/internal/smcore"
+	"repro/internal/stats"
+)
+
+// Kernel describes one kernel launch: a grid of identical-shape thread
+// blocks whose warps' instruction streams come from WarpProgram.
+type Kernel struct {
+	// Name labels the kernel in reports.
+	Name string
+	// Blocks is the grid size.
+	Blocks int
+	// WarpsPerBlock is the block size in warps (threads/32).
+	WarpsPerBlock int
+	// RegsPerThread is the compiler-assigned register footprint.
+	RegsPerThread int
+	// SharedMemPerBlock is the scratchpad reservation in bytes.
+	SharedMemPerBlock int
+	// WarpProgram returns warp w of block b's instruction stream.
+	// Implementations memoize: most kernels have a handful of distinct
+	// per-warp behaviours.
+	WarpProgram func(block, warp int) *program.Program
+}
+
+// Instructions returns the kernel's total dynamic instruction count.
+func (k *Kernel) Instructions() int64 {
+	var t int64
+	for b := 0; b < k.Blocks; b++ {
+		for w := 0; w < k.WarpsPerBlock; w++ {
+			t += k.WarpProgram(b, w).Len()
+		}
+	}
+	return t
+}
+
+// Validate checks the kernel is runnable on cfg.
+func (k *Kernel) Validate(cfg *config.GPU) error {
+	switch {
+	case k.Blocks < 1:
+		return fmt.Errorf("kernel %s: no blocks", k.Name)
+	case k.WarpsPerBlock < 1:
+		return fmt.Errorf("kernel %s: no warps per block", k.Name)
+	case k.WarpsPerBlock > cfg.MaxWarpsPerSM:
+		return fmt.Errorf("kernel %s: %d warps/block exceeds SM capacity %d", k.Name, k.WarpsPerBlock, cfg.MaxWarpsPerSM)
+	case k.SharedMemPerBlock > cfg.SharedMemKBPerSM*1024:
+		return fmt.Errorf("kernel %s: shared memory %d exceeds SM capacity", k.Name, k.SharedMemPerBlock)
+	case k.RegsPerThread < 1:
+		return fmt.Errorf("kernel %s: RegsPerThread must be >= 1", k.Name)
+	case k.WarpProgram == nil:
+		return fmt.Errorf("kernel %s: nil WarpProgram", k.Name)
+	}
+	// A single warp must fit one sub-core's register file.
+	if k.RegsPerThread*cfg.WarpSize*4 > cfg.RegFileKBPerSubCore*1024 {
+		return fmt.Errorf("kernel %s: %d regs/thread exceeds a sub-core register file", k.Name, k.RegsPerThread)
+	}
+	return nil
+}
+
+// GPU is a simulated device instance. A GPU is single-use per Run result:
+// Reset rebuilds state between applications.
+type GPU struct {
+	cfg   config.GPU
+	hier  *mem.Hierarchy
+	sms   []*smcore.SM
+	run   *stats.Run
+	cycle int64
+
+	traceReads  bool
+	issueBucket int
+	issuePrev   []int64
+	issueAccum  []uint32
+	issueFill   int
+}
+
+// New builds a device for the configuration.
+func New(cfg config.GPU) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &GPU{cfg: cfg}
+	g.reset()
+	return g, nil
+}
+
+func (g *GPU) reset() {
+	g.hier = mem.NewHierarchy(g.cfg)
+	g.run = stats.NewRun(g.cfg.NumSMs, g.cfg.SubCoresPerSM)
+	g.sms = g.sms[:0]
+	for i := 0; i < g.cfg.NumSMs; i++ {
+		g.sms = append(g.sms, smcore.NewSM(i, &g.cfg, g.hier, g.run))
+	}
+	g.cycle = 0
+	if g.traceReads {
+		g.sms[0].TraceReads(true)
+	}
+}
+
+// TraceReads enables the Fig. 14 per-cycle register-read trace on SM 0.
+// Call before RunKernel.
+func (g *GPU) TraceReads(on bool) {
+	g.traceReads = on
+	g.sms[0].TraceReads(on)
+}
+
+// TraceIssue enables per-sub-core issue-timeline sampling on SM 0:
+// instructions issued per sub-core are accumulated into buckets of the
+// given cycle width (the sub-core imbalance visualization). Call before
+// RunKernel.
+func (g *GPU) TraceIssue(bucketCycles int) {
+	if bucketCycles < 1 {
+		bucketCycles = 1
+	}
+	g.issueBucket = bucketCycles
+	g.run.IssueBucket = bucketCycles
+	n := g.cfg.SubCoresPerSM
+	g.issuePrev = make([]int64, n)
+	g.issueAccum = make([]uint32, n)
+	g.run.IssueTimeline = make([][]uint32, n)
+}
+
+// sampleIssue accumulates SM 0's per-sub-core issue deltas.
+func (g *GPU) sampleIssue() {
+	sm0 := &g.run.SMs[0]
+	for i := range sm0.SubCores {
+		cur := sm0.SubCores[i].Issued
+		g.issueAccum[i] += uint32(cur - g.issuePrev[i])
+		g.issuePrev[i] = cur
+	}
+	g.issueFill++
+	if g.issueFill >= g.issueBucket {
+		for i := range g.issueAccum {
+			g.run.IssueTimeline[i] = append(g.run.IssueTimeline[i], g.issueAccum[i])
+			g.issueAccum[i] = 0
+		}
+		g.issueFill = 0
+	}
+}
+
+// Config returns the device configuration.
+func (g *GPU) Config() config.GPU { return g.cfg }
+
+// Run returns the accumulated statistics.
+func (g *GPU) Run() *stats.Run { return g.run }
+
+// DefaultMaxCycles bounds a kernel simulation as a deadlock backstop.
+const DefaultMaxCycles = 50_000_000
+
+// RunKernel simulates one kernel to completion, accumulating into the
+// device's stats. maxCycles <= 0 selects DefaultMaxCycles.
+func (g *GPU) RunKernel(k *Kernel, maxCycles int64) error {
+	return g.RunConcurrent([]*Kernel{k}, maxCycles)
+}
+
+// RunConcurrent simulates several kernels launched together (concurrent
+// kernel execution on separate streams): the thread-block scheduler
+// interleaves pending blocks round-robin across kernels, so an SM can
+// hold blocks of different kernels at once. This is the scenario behind
+// the paper's third and fourth partitioning effects (Section I): warps
+// with diverse execution-unit demands, and diverse register-capacity
+// demands, pinned to sub-cores.
+func (g *GPU) RunConcurrent(kernels []*Kernel, maxCycles int64) error {
+	if len(kernels) == 0 {
+		return fmt.Errorf("gpu: no kernels to run")
+	}
+	startCycles, startInstr := g.cycle, g.run.Instructions
+	for _, k := range kernels {
+		if err := k.Validate(&g.cfg); err != nil {
+			return err
+		}
+	}
+	if maxCycles <= 0 {
+		maxCycles = DefaultMaxCycles
+	}
+	for _, sm := range g.sms {
+		sm.ResetForKernel()
+	}
+	nextBlock := make([]int, len(kernels))
+	totalLeft := 0
+	var totalBlocks int
+	for _, k := range kernels {
+		totalLeft += k.Blocks
+		totalBlocks += k.Blocks
+	}
+	// Kernel-wide warp IDs must not collide across concurrent kernels;
+	// offset each kernel's GID space.
+	gidOffset := make([]int64, len(kernels))
+	var off int64
+	for i, k := range kernels {
+		gidOffset[i] = off
+		off += int64(k.Blocks) * int64(k.WarpsPerBlock)
+	}
+	smPtr, kPtr := 0, 0
+	deadline := g.cycle + maxCycles
+	for {
+		// Thread-block scheduler: place pending blocks on SMs with
+		// capacity — loose round-robin over SMs, alternating kernels.
+		for totalLeft > 0 {
+			// Next kernel with blocks remaining.
+			for nextBlock[kPtr] >= kernels[kPtr].Blocks {
+				kPtr = (kPtr + 1) % len(kernels)
+			}
+			k := kernels[kPtr]
+			spec := g.blockSpec(k, nextBlock[kPtr], gidOffset[kPtr])
+			placed := false
+			for scan := 0; scan < len(g.sms); scan++ {
+				sm := g.sms[smPtr]
+				smPtr = (smPtr + 1) % len(g.sms)
+				if sm.CanAccept(spec) {
+					if err := sm.Allocate(spec); err != nil {
+						return err
+					}
+					nextBlock[kPtr]++
+					totalLeft--
+					placed = true
+					kPtr = (kPtr + 1) % len(kernels)
+					break
+				}
+			}
+			if !placed {
+				break
+			}
+		}
+
+		for _, sm := range g.sms {
+			sm.Tick(g.cycle)
+		}
+		g.run.OccupancySum += int64(g.sms[0].ResidentWarps())
+		g.run.OccupancySamples++
+		if g.issueBucket > 0 {
+			g.sampleIssue()
+		}
+		g.cycle++
+		g.run.Cycles = g.cycle
+
+		if totalLeft == 0 && g.drained() {
+			break
+		}
+		if g.cycle >= deadline {
+			return fmt.Errorf("gpu: kernel batch (%s...) exceeded %d cycles (%d/%d blocks launched)",
+				kernels[0].Name, maxCycles, totalBlocks-totalLeft, totalBlocks)
+		}
+	}
+	g.harvestCacheStats()
+	label := kernels[0].Name
+	if len(kernels) > 1 {
+		label = fmt.Sprintf("%s(+%d concurrent)", label, len(kernels)-1)
+	}
+	g.run.Kernels = append(g.run.Kernels, stats.KernelStats{
+		Name:         label,
+		Cycles:       g.cycle - startCycles,
+		Instructions: g.run.Instructions - startInstr,
+	})
+	return nil
+}
+
+// blockSpec materializes block b of kernel k; gidOffset displaces the
+// kernel's warp-GID space under concurrent execution.
+func (g *GPU) blockSpec(k *Kernel, b int, gidOffset int64) *smcore.BlockSpec {
+	progs := make([]*program.Program, k.WarpsPerBlock)
+	for w := range progs {
+		progs[w] = k.WarpProgram(b, w)
+	}
+	return &smcore.BlockSpec{
+		KernelBlockID:  b,
+		Programs:       progs,
+		RegsPerThread:  k.RegsPerThread,
+		SharedMemBytes: k.SharedMemPerBlock,
+		FirstWarpGID:   gidOffset + int64(b)*int64(k.WarpsPerBlock),
+	}
+}
+
+func (g *GPU) drained() bool {
+	for _, sm := range g.sms {
+		if !sm.Drained() {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *GPU) harvestCacheStats() {
+	for i := range g.run.SMs {
+		l1 := g.hier.L1(i)
+		g.run.SMs[i].L1Hits = l1.Hits
+		g.run.SMs[i].L1Misses = l1.Misses
+	}
+}
+
+// RunKernels simulates a sequence of kernels (one application).
+func (g *GPU) RunKernels(ks []*Kernel, maxCycles int64) error {
+	for _, k := range ks {
+		if err := g.RunKernel(k, maxCycles); err != nil {
+			return err
+		}
+	}
+	return nil
+}

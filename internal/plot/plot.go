@@ -1,0 +1,125 @@
+// Package plot renders small terminal visualizations — sparklines,
+// histograms and density strips — used by the CLI tools to show Fig. 14
+// style per-cycle traces without leaving the terminal.
+package plot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// sparks are the eight vertical-resolution levels of a sparkline.
+var sparks = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders vals as a width-character sparkline, bucketing by
+// mean within each bucket and scaling to the series maximum.
+func Sparkline(vals []float64, width int) string {
+	if len(vals) == 0 || width < 1 {
+		return ""
+	}
+	if width > len(vals) {
+		width = len(vals)
+	}
+	buckets := bucketMeans(vals, width)
+	max := 0.0
+	for _, b := range buckets {
+		if b > max {
+			max = b
+		}
+	}
+	var sb strings.Builder
+	for _, b := range buckets {
+		idx := 0
+		if max > 0 {
+			idx = int(b / max * float64(len(sparks)-1))
+		}
+		if idx >= len(sparks) {
+			idx = len(sparks) - 1
+		}
+		sb.WriteRune(sparks[idx])
+	}
+	return sb.String()
+}
+
+// bucketMeans downsamples vals into n equal-width buckets by mean.
+func bucketMeans(vals []float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(vals) / n
+		hi := (i + 1) * len(vals) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var s float64
+		for _, v := range vals[lo:hi] {
+			s += v
+		}
+		out[i] = s / float64(hi-lo)
+	}
+	return out
+}
+
+// Histogram renders a horizontal-bar histogram of vals over nbins bins in
+// [0, max], one line per bin, bars scaled to barWidth characters.
+func Histogram(vals []float64, nbins int, max float64, barWidth int) string {
+	if nbins < 1 || len(vals) == 0 {
+		return ""
+	}
+	if max <= 0 {
+		for _, v := range vals {
+			if v > max {
+				max = v
+			}
+		}
+		if max <= 0 {
+			max = 1
+		}
+	}
+	counts := make([]int, nbins)
+	for _, v := range vals {
+		b := int(v / max * float64(nbins))
+		if b >= nbins {
+			b = nbins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	peak := 0
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var sb strings.Builder
+	for i, c := range counts {
+		lo := max * float64(i) / float64(nbins)
+		hi := max * float64(i+1) / float64(nbins)
+		bar := 0
+		if peak > 0 {
+			bar = c * barWidth / peak
+		}
+		fmt.Fprintf(&sb, "%8.0f-%-8.0f |%s %d\n", lo, hi, strings.Repeat("█", bar), c)
+	}
+	return sb.String()
+}
+
+// Series renders a labeled sparkline with its min/mean/max.
+func Series(label string, vals []float64, width int) string {
+	if len(vals) == 0 {
+		return fmt.Sprintf("%-24s (empty)", label)
+	}
+	min, max, sum := vals[0], vals[0], 0.0
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	return fmt.Sprintf("%-24s %s  min %.0f  mean %.1f  max %.0f",
+		label, Sparkline(vals, width), min, sum/float64(len(vals)), max)
+}

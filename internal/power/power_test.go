@@ -1,0 +1,78 @@
+package power
+
+import "testing"
+
+// TestFig13Calibration pins the model to the paper's synthesis results:
+// 4 CUs per sub-core costs ~+27% area and ~+60% power over the 2-CU
+// baseline; the RBA additions cost ~1% of each.
+func TestFig13Calibration(t *testing.T) {
+	area4, power4 := Relative(Design{CUs: 4, Banks: 2})
+	if area4 < 1.20 || area4 > 1.34 {
+		t.Errorf("4-CU area ratio = %.3f, want ~1.27", area4)
+	}
+	if power4 < 1.50 || power4 > 1.70 {
+		t.Errorf("4-CU power ratio = %.3f, want ~1.60", power4)
+	}
+	areaR, powerR := Relative(Design{CUs: 2, Banks: 2, RBA: true})
+	if areaR > 1.02 || areaR < 1.0 {
+		t.Errorf("RBA area ratio = %.3f, want ~1.01", areaR)
+	}
+	if powerR > 1.02 || powerR < 1.0 {
+		t.Errorf("RBA power ratio = %.3f, want ~1.01", powerR)
+	}
+}
+
+func TestScalingMonotonic(t *testing.T) {
+	prevA, prevP := 0.0, 0.0
+	for _, cus := range []int{1, 2, 4, 8, 16} {
+		a, p := Relative(Design{CUs: cus, Banks: 2})
+		if a <= prevA || p <= prevP {
+			t.Errorf("%d CUs: ratios (%.3f, %.3f) not increasing", cus, a, p)
+		}
+		prevA, prevP = a, p
+	}
+}
+
+func TestCrossbarSuperlinear(t *testing.T) {
+	// Doubling CUs must grow the crossbar by more than 1.5x (the
+	// super-linear port scaling that makes CU scaling expensive).
+	x2 := Area(Design{CUs: 2, Banks: 2}).Crossbar
+	x4 := Area(Design{CUs: 4, Banks: 2}).Crossbar
+	if x4 < 1.5*x2 {
+		t.Errorf("crossbar 2->4 CUs grew only %.2fx", x4/x2)
+	}
+}
+
+func TestBankScalingCosts(t *testing.T) {
+	a2, p2 := Relative(Design{CUs: 2, Banks: 2})
+	a4, p4 := Relative(Design{CUs: 2, Banks: 4})
+	if a4 <= a2 || p4 <= p2 {
+		t.Error("doubling banks must cost area and power")
+	}
+}
+
+func TestBreakdownConsistency(t *testing.T) {
+	d := Design{CUs: 4, Banks: 2, RBA: true}
+	e := Area(d)
+	sum := e.RegFile + e.Collector + e.Crossbar + e.Scheduler + e.RBAExtras
+	if e.Total() != sum {
+		t.Error("Total does not equal component sum")
+	}
+	if e.RBAExtras <= 0 {
+		t.Error("RBA design must show RBA extras")
+	}
+	plain := Area(Design{CUs: 4, Banks: 2})
+	if plain.RBAExtras != 0 {
+		t.Error("non-RBA design must not show RBA extras")
+	}
+}
+
+func TestRBAIsCheaperThanCUScaling(t *testing.T) {
+	// The paper's headline cost claim: RBA delivers its speedup at a
+	// fraction of the cost of doubling CUs.
+	aRBA, pRBA := Relative(Design{CUs: 2, Banks: 2, RBA: true})
+	aCU, pCU := Relative(Design{CUs: 4, Banks: 2})
+	if aRBA >= aCU || pRBA >= pCU {
+		t.Error("RBA must be cheaper than CU doubling")
+	}
+}

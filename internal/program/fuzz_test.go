@@ -1,0 +1,57 @@
+package program
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// FuzzCursor decodes arbitrary bytes into a segment structure and checks
+// the cursor invariants: exactly Len() instructions yielded, Fetched and
+// Remaining consistent at every step, Peek never advancing.
+func FuzzCursor(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 2, 4})
+	f.Add([]byte{1, 1})
+	f.Add([]byte{7, 3, 1, 1, 9, 2, 5, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		var segs []Segment
+		for i := 0; i+1 < len(data) && len(segs) < 8; i += 2 {
+			bodyLen := int(data[i]%5) + 1
+			trips := int64(data[i+1]%9) + 1
+			body := make([]isa.Instr, bodyLen)
+			for j := range body {
+				body[j] = isa.MakeFMA(isa.Reg(j), 1, 2, 3)
+			}
+			segs = append(segs, Segment{Body: body, Trips: trips})
+		}
+		p, err := New(segs...)
+		if err != nil {
+			t.Fatalf("valid segments rejected: %v", err)
+		}
+		c := p.Cursor()
+		var n int64
+		for {
+			if c.Fetched() != n {
+				t.Fatalf("Fetched = %d, want %d", c.Fetched(), n)
+			}
+			if c.Remaining() != p.Len()-n {
+				t.Fatalf("Remaining = %d, want %d", c.Remaining(), p.Len()-n)
+			}
+			peeked, pok := c.Peek()
+			in, ok := c.Next()
+			if pok != ok || (ok && peeked != in) {
+				t.Fatal("Peek disagreed with Next")
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+		if n != p.Len() {
+			t.Fatalf("yielded %d instructions, want %d", n, p.Len())
+		}
+	})
+}

@@ -1,0 +1,473 @@
+package smcore
+
+import (
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/regfile"
+	"repro/internal/stats"
+)
+
+// execUnit models the SIMD pipelines of one class within a sub-core. A
+// Volta sub-core has one 16-lane FP32 pipe; the hypothetical
+// fully-connected SM pools four of them, so lane budgets above the native
+// pipe width become additional dispatch ports rather than one wider pipe.
+type execUnit struct {
+	ii    int64
+	ports []int64 // per-pipe next-free cycle
+}
+
+func newExecUnit(lanes, pipeWidth int) execUnit {
+	if pipeWidth < 1 {
+		pipeWidth = 1
+	}
+	n := lanes / pipeWidth
+	if n < 1 {
+		n = 1
+	}
+	w := pipeWidth
+	if lanes < pipeWidth {
+		w = lanes
+	}
+	return execUnit{
+		ii:    int64(isa.InitiationInterval(w)),
+		ports: make([]int64, n),
+	}
+}
+
+func (e *execUnit) ready(now int64) bool {
+	for _, p := range e.ports {
+		if p <= now {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *execUnit) accept(now int64) {
+	for i, p := range e.ports {
+		if p <= now {
+			e.ports[i] = now + e.ii
+			return
+		}
+	}
+	panic("smcore: accept on busy execution unit")
+}
+
+// SubCore is one partition of an SM: a warp scheduler (or several, for the
+// fully-connected model), a slice of the register file with its operand
+// collector, and private execution units.
+type SubCore struct {
+	id    int
+	cfg   *config.GPU
+	sm    *SM
+	slots []int32 // warp indices into sm.warps; -1 = empty
+	used  int
+
+	sched core.WarpScheduler
+	coll  *regfile.Collector
+	eu    [isa.NumClasses]execUnit
+
+	// freeRegBytes tracks unallocated register-file capacity.
+	freeRegBytes int
+
+	st *stats.SubCore
+
+	// scratch buffers reused across cycles.
+	cands   []core.Candidate
+	qlenBuf []int
+}
+
+func newSubCore(id int, cfg *config.GPU, sm *SM, st *stats.SubCore) *SubCore {
+	sc := &SubCore{
+		id:           id,
+		cfg:          cfg,
+		sm:           sm,
+		slots:        make([]int32, cfg.WarpsPerSubCore()),
+		sched:        core.NewWarpScheduler(cfg.WarpScheduler),
+		coll:         regfile.NewCollector(cfg.CollectorUnitsPerSubCore, cfg.BanksPerSubCore, maxScoreDelay(cfg), st),
+		freeRegBytes: cfg.RegFileKBPerSubCore * 1024,
+		st:           st,
+	}
+	for i := range sc.slots {
+		sc.slots[i] = -1
+	}
+	// Native pipe widths are Volta's: 16-lane FP32/INT pipes, 4-lane SFU.
+	// Wider lane budgets (the fully-connected SM) become more pipes.
+	sc.eu[isa.ClassFP32] = newExecUnit(cfg.FP32LanesPerSubCore, 16)
+	sc.eu[isa.ClassINT] = newExecUnit(cfg.IntLanesPerSubCore, 16)
+	sc.eu[isa.ClassSFU] = newExecUnit(cfg.SFULanesPerSubCore, 4)
+	tensors := cfg.TensorPerSubCore
+	if tensors < 1 {
+		tensors = 1
+	}
+	sc.eu[isa.ClassTensor] = execUnit{ii: 4, ports: make([]int64, tensors)}
+	// The MEM "unit" is an issue port into the SM-shared LSU; its real
+	// acceptance check is the LSU queue's, applied at dispatch.
+	sc.eu[isa.ClassMEM] = execUnit{ii: 1, ports: make([]int64, 1)}
+	return sc
+}
+
+func maxScoreDelay(cfg *config.GPU) int {
+	if cfg.RBAScoreLatency > 0 {
+		return cfg.RBAScoreLatency
+	}
+	return 1
+}
+
+// regBytesPerWarp returns the register-file bytes a warp of the given
+// per-thread register count occupies.
+func (sc *SubCore) regBytesPerWarp(regsPerThread int) int {
+	return regsPerThread * sc.cfg.WarpSize * 4
+}
+
+// canHost reports whether the sub-core has a free slot and register space
+// for one more warp.
+func (sc *SubCore) canHost(regsPerThread int) bool {
+	return sc.used < len(sc.slots) && sc.freeRegBytes >= sc.regBytesPerWarp(regsPerThread)
+}
+
+// host places warp index w into a free slot and reserves registers,
+// returning the scheduler slot.
+func (sc *SubCore) host(w int32, regsPerThread int) int16 {
+	for i := range sc.slots {
+		if sc.slots[i] == -1 {
+			sc.slots[i] = w
+			sc.used++
+			sc.freeRegBytes -= sc.regBytesPerWarp(regsPerThread)
+			return int16(i)
+		}
+	}
+	panic("smcore: host called with no free slot")
+}
+
+// release frees a warp's slot and registers (block completion).
+func (sc *SubCore) release(slot int16, regsPerThread int) {
+	if sc.slots[slot] == -1 {
+		panic("smcore: releasing an empty slot")
+	}
+	sc.slots[slot] = -1
+	sc.used--
+	sc.freeRegBytes += sc.regBytesPerWarp(regsPerThread)
+}
+
+// bankOf maps one register of a warp.
+func (sc *SubCore) bankOf(w *Warp, r isa.Reg) int {
+	return regfile.BankWithOffset(int(w.BankOff), r, sc.cfg.BanksPerSubCore)
+}
+
+// collectorTick advances the operand collector: bank grants, writeback
+// grants (which clear scoreboards), and dispatch of ready collector units
+// into execution units or the LSU, bounded by the sub-core's dispatch
+// ports per cycle.
+func (sc *SubCore) collectorTick(now int64) {
+	ports := sc.cfg.DispatchPortsPerSubCore
+	sc.coll.Tick(func(cu *regfile.CollectorUnit) bool {
+		if ports <= 0 {
+			return false
+		}
+		if cu.Stolen {
+			return false // pre-read operands wait for formal issue
+		}
+		if !sc.dispatch(cu, now) {
+			return false
+		}
+		ports--
+		return true
+	})
+	for _, wr := range sc.coll.GrantedWrites() {
+		w := &sc.sm.warps[wr.WarpIdx]
+		w.SBClear(wr.Reg)
+	}
+}
+
+// dispatch sends a collected instruction to its execution unit. Memory
+// instructions enter the SM-shared LSU queue instead.
+func (sc *SubCore) dispatch(cu *regfile.CollectorUnit, now int64) bool {
+	in := &cu.Instr
+	class := in.Op.UnitOf()
+	if class == isa.ClassMEM {
+		return sc.sm.lsu.enqueue(cu.WarpIdx, sc.id, *in)
+	}
+	u := &sc.eu[class]
+	if !u.ready(now) {
+		return false
+	}
+	u.accept(now)
+	if in.Dst.Valid() {
+		w := &sc.sm.warps[cu.WarpIdx]
+		sc.sm.scheduleWriteback(now+int64(in.Op.Latency()), cu.WarpIdx, in.Dst, int8(sc.bankOf(w, in.Dst)), sc.id)
+	}
+	return true
+}
+
+// issueCandidates fills sc.cands with ready warps and returns stall
+// bookkeeping for the cycle: howmany warps were resident, blocked at
+// barriers, hazard-blocked, or finished.
+type issueCensus struct {
+	resident  int
+	active    int
+	atBarrier int
+	finished  int
+	hazard    int
+	starved   int // active but instruction buffer empty
+}
+
+func (sc *SubCore) buildCandidates(now int64) issueCensus {
+	sc.cands = sc.cands[:0]
+	var cen issueCensus
+	banks := sc.cfg.BanksPerSubCore
+	rba := sc.cfg.WarpScheduler == config.SchedRBA
+	if rba {
+		// Snapshot the arbiter queue lengths once per cycle (the RBA
+		// score tap, optionally through the delay line).
+		if cap(sc.qlenBuf) < banks {
+			sc.qlenBuf = make([]int, banks)
+		}
+		sc.qlenBuf = sc.qlenBuf[:banks]
+		delay := sc.cfg.RBAScoreLatency
+		for b := 0; b < banks; b++ {
+			sc.qlenBuf[b] = sc.coll.DelayedQueueLen(b, delay)
+		}
+	}
+	for _, wi := range sc.slots {
+		if wi < 0 {
+			continue
+		}
+		cen.resident++
+		w := &sc.sm.warps[wi]
+		switch w.State {
+		case WarpAtBarrier:
+			cen.atBarrier++
+			continue
+		case WarpFinished:
+			cen.finished++
+			continue
+		}
+		cen.active++
+		if w.IBufN == 0 {
+			cen.starved++
+			continue
+		}
+		in := &w.IBuf[0]
+		if w.Hazard(in) {
+			cen.hazard++
+			continue
+		}
+		// EXIT and BAR drain outstanding writes first.
+		if (in.Op.IsExit() || in.Op.IsBarrier()) && !w.SBEmpty() {
+			cen.hazard++
+			continue
+		}
+		c := core.Candidate{Slot: int(w.SchedSlot), Age: w.Age}
+		if rba {
+			// Sum the (possibly delayed) queue lengths of each source
+			// operand's bank from the per-cycle snapshot.
+			score := 0
+			off := int(w.BankOff)
+			for _, src := range in.Srcs {
+				if !src.Valid() {
+					continue
+				}
+				score += sc.qlenBuf[regfile.BankWithOffset(off, src, banks)]
+			}
+			if score > core.MaxScore {
+				score = core.MaxScore
+			}
+			c.Score = score
+		}
+		sc.cands = append(sc.cands, c)
+	}
+	return cen
+}
+
+// warpAtSchedSlot resolves a scheduler slot back to the warp.
+func (sc *SubCore) warpAtSchedSlot(slot int) *Warp {
+	wi := sc.slots[slot]
+	if wi < 0 {
+		panic("smcore: candidate for empty slot")
+	}
+	return &sc.sm.warps[wi]
+}
+
+// issueTick runs the scheduler(s): up to SchedulersPerSubCore instructions
+// issue per cycle, each from a distinct warp, falling through to
+// lower-priority candidates when the top choice cannot issue (no free
+// collector unit, blocked pipe).
+func (sc *SubCore) issueTick(now int64) {
+	cen := sc.buildCandidates(now)
+	issued := 0
+	blockedCU := false
+	blockedEU := false
+	for port := 0; port < sc.cfg.SchedulersPerSubCore; port++ {
+		for len(sc.cands) > 0 {
+			pick := sc.sched.Pick(sc.cands)
+			if pick < 0 {
+				break
+			}
+			cand := sc.cands[pick]
+			// Remove the candidate (issue or skip, it is spent this cycle).
+			sc.cands[pick] = sc.cands[len(sc.cands)-1]
+			sc.cands = sc.cands[:len(sc.cands)-1]
+			w := sc.warpAtSchedSlot(cand.Slot)
+			ok, cu, euBusy := sc.tryIssue(w, now)
+			if ok {
+				sc.sched.NotifyIssued(cand.Slot)
+				sc.st.Issued++
+				sc.sm.run.Instructions++
+				issued++
+				break
+			}
+			blockedCU = blockedCU || cu
+			blockedEU = blockedEU || euBusy
+		}
+	}
+	if issued > 0 {
+		return
+	}
+	// Attribute the stall (Fig. 1's effect decomposition).
+	switch {
+	case blockedCU:
+		sc.st.StallCycles[stats.StallNoCU]++
+	case blockedEU:
+		sc.st.StallCycles[stats.StallEUBusy]++
+	case cen.hazard > 0:
+		sc.st.StallCycles[stats.StallScoreboard]++
+	case cen.atBarrier > 0 && cen.active == 0:
+		sc.st.StallCycles[stats.StallBarrier]++
+	default:
+		sc.st.StallCycles[stats.StallNoWarp]++
+		if cen.resident > 0 && cen.finished == cen.resident {
+			sc.st.IdleAllFinished++
+		}
+	}
+}
+
+// tryIssue attempts to issue warp w's IBuf[0]. Returns ok, plus whether
+// the failure was a missing collector unit or a busy execution port.
+func (sc *SubCore) tryIssue(w *Warp, now int64) (ok, noCU, euBusy bool) {
+	in := w.IBuf[0]
+	switch {
+	case in.Op.IsExit():
+		sc.consume(w)
+		sc.sm.warpExited(w)
+		return true, false, false
+	case in.Op.IsBarrier():
+		sc.consume(w)
+		sc.sm.warpAtBarrier(w)
+		return true, false, false
+	case in.Op == isa.OpNOP:
+		sc.consume(w)
+		return true, false, false
+	}
+	if !in.HasSrc() {
+		// Zero-source, register-writing instructions (LDC) bypass the
+		// operand collector and dispatch directly.
+		return sc.issueDirect(w, &in, now)
+	}
+	// A bank-stealing pre-allocation for this very instruction converts
+	// to a normal issue: operands are already (being) read.
+	if w.StolenCU >= 0 {
+		cu := sc.coll.CU(int(w.StolenCU))
+		cu.Stolen = false
+		w.StolenCU = -1
+		if in.Dst.Valid() {
+			w.SBSet(in.Dst)
+		}
+		sc.consume(w)
+		return true, false, false
+	}
+	cuIdx := sc.coll.FreeCU()
+	if cuIdx < 0 {
+		return false, true, false
+	}
+	sc.coll.Allocate(cuIdx, sc.slotIndex(w), int32(w.SchedSlot), in, int(w.BankOff), false)
+	if in.Dst.Valid() {
+		w.SBSet(in.Dst)
+	}
+	sc.consume(w)
+	return true, false, false
+}
+
+// issueDirect handles zero-source ops that still execute (LDC and
+// degenerate ALU ops): they skip the collector but need their unit.
+func (sc *SubCore) issueDirect(w *Warp, in *isa.Instr, now int64) (ok, noCU, euBusy bool) {
+	class := in.Op.UnitOf()
+	if class == isa.ClassMEM {
+		if !sc.sm.lsu.enqueue(sc.slotIndex(w), sc.id, *in) {
+			return false, false, true
+		}
+	} else if class != isa.ClassNone {
+		u := &sc.eu[class]
+		if !u.ready(now) {
+			return false, false, true
+		}
+		u.accept(now)
+		if in.Dst.Valid() {
+			sc.sm.scheduleWriteback(now+int64(in.Op.Latency()), sc.slotIndex(w), in.Dst, int8(sc.bankOf(w, in.Dst)), sc.id)
+		}
+	}
+	if in.Dst.Valid() {
+		w.SBSet(in.Dst)
+	}
+	sc.consume(w)
+	return true, false, false
+}
+
+// slotIndex returns the warp's index in the SM warp table.
+func (sc *SubCore) slotIndex(w *Warp) int32 { return sc.slots[w.SchedSlot] }
+
+// consume pops IBuf[0].
+func (sc *SubCore) consume(w *Warp) {
+	w.IBuf[0] = w.IBuf[1]
+	w.IBufN--
+}
+
+// stealTick pre-allocates a free collector unit with the
+// highest-priority remaining candidate whose instruction reads registers,
+// so its operands are fetched using otherwise-idle bank cycles —
+// register bank stealing [36]. Runs after issueTick; sc.cands holds the
+// candidates not issued this cycle.
+func (sc *SubCore) stealTick() {
+	cuIdx := sc.coll.FreeCU()
+	if cuIdx < 0 {
+		return
+	}
+	for _, cand := range sc.cands {
+		w := sc.warpAtSchedSlot(cand.Slot)
+		if w.StolenCU >= 0 || w.IBufN == 0 {
+			continue
+		}
+		in := w.IBuf[0]
+		if !in.HasSrc() || in.Op.IsExit() || in.Op.IsBarrier() {
+			continue
+		}
+		sc.coll.Allocate(cuIdx, sc.slotIndex(w), int32(w.SchedSlot), in, int(w.BankOff), true)
+		w.StolenCU = int8(cuIdx)
+		return
+	}
+}
+
+// decodeTick refills instruction buffers (ideal front-end: the paper's
+// effects are entirely in the issue/operand/execute back-end).
+func (sc *SubCore) decodeTick() {
+	for _, wi := range sc.slots {
+		if wi < 0 {
+			continue
+		}
+		w := &sc.sm.warps[wi]
+		if w.State != WarpActive {
+			continue
+		}
+		for w.IBufN < 2 && !w.Cursor.Done() {
+			in, _ := w.Cursor.Next()
+			w.IBuf[w.IBufN] = in
+			w.IBufN++
+		}
+	}
+}
+
+// reset prepares the sub-core for a new kernel.
+func (sc *SubCore) reset() {
+	sc.sched.Reset()
+}

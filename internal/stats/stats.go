@@ -1,0 +1,319 @@
+// Package stats collects the measurements the paper's figures are built
+// from: per-sub-core issue counts (Fig 17's coefficient of variation),
+// register-file reads per cycle (Fig 14's utilization traces), bank
+// conflict and stall breakdowns, and whole-run cycle/instruction totals.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// StallReason classifies why a sub-core scheduler failed to issue in a
+// cycle. The breakdown identifies which of the paper's four sub-division
+// effects dominates an application.
+type StallReason uint8
+
+const (
+	// StallNone: an instruction issued.
+	StallNone StallReason = iota
+	// StallNoWarp: no resident warp had a decoded instruction (empty,
+	// finished, or waiting at a barrier). Sub-core issue imbalance shows
+	// up here.
+	StallNoWarp
+	// StallScoreboard: every candidate had a register hazard.
+	StallScoreboard
+	// StallNoCU: no free collector unit — the read-operand stage is
+	// backed up (bank conflicts).
+	StallNoCU
+	// StallEUBusy: the target execution unit could not accept.
+	StallEUBusy
+	// StallBarrier: all candidate warps were parked at a barrier while
+	// siblings on other sub-cores still run (inter-warp divergence).
+	StallBarrier
+
+	NumStallReasons
+)
+
+var stallNames = [NumStallReasons]string{
+	"issued", "no-warp", "scoreboard", "no-cu", "eu-busy", "barrier",
+}
+
+// String names the reason.
+func (s StallReason) String() string {
+	if int(s) < len(stallNames) {
+		return stallNames[s]
+	}
+	return fmt.Sprintf("stall(%d)", uint8(s))
+}
+
+// SubCore holds per-sub-core counters within one SM.
+type SubCore struct {
+	// Issued is the number of instructions issued by this sub-core's
+	// scheduler(s) — the quantity Fig 17 computes CoV over.
+	Issued int64
+	// Cycles this sub-core was active (SM active cycles).
+	Cycles int64
+	// StallCycles[r] counts cycles lost to each reason.
+	StallCycles [NumStallReasons]int64
+	// BankConflicts counts read requests that waited >= 1 extra cycle in
+	// a bank queue.
+	BankConflicts int64
+	// RegReads counts 32-wide register reads granted.
+	RegReads int64
+	// RegWrites counts writebacks.
+	RegWrites int64
+	// IdleAllFinished counts cycles where every resident warp had exited
+	// but the block had not yet been released (the static-assignment
+	// pathology of Section III-B).
+	IdleAllFinished int64
+}
+
+// SM aggregates an SM's sub-cores plus SM-level memory counters.
+type SM struct {
+	SubCores []SubCore
+	// BlocksCompleted counts thread blocks retired by this SM.
+	BlocksCompleted int64
+	// L1Hits, L1Misses count data-cache outcomes.
+	L1Hits, L1Misses int64
+	// SharedConflicts counts extra scratchpad cycles from bank conflicts.
+	SharedConflicts int64
+	// AssignFallbacks counts warps whose designated sub-core was full so
+	// placement fell back to the least-loaded sub-core.
+	AssignFallbacks int64
+}
+
+// KernelStats records one kernel launch within a run.
+type KernelStats struct {
+	// Name is the kernel label.
+	Name string
+	// Cycles the launch took (wall cycles, not summed over SMs).
+	Cycles int64
+	// Instructions issued during the launch.
+	Instructions int64
+}
+
+// Run is the result of simulating one application on one configuration.
+type Run struct {
+	// Cycles is total GPU cycles to completion.
+	Cycles int64
+	// Instructions is total warp instructions issued.
+	Instructions int64
+	SMs          []SM
+	// Kernels breaks the run down per kernel launch.
+	Kernels []KernelStats
+	// OccupancySamples/OccupancySum track mean resident warps per SM
+	// (sampled every cycle on SM 0).
+	OccupancySum     int64
+	OccupancySamples int64
+	// ReadsPerCycle, when tracing was enabled, holds the aggregate
+	// 4-byte register reads each cycle on SM 0 (Fig 14).
+	ReadsPerCycle []uint16
+	// IssueTimeline, when issue tracing was enabled, holds per-sub-core
+	// instructions issued on SM 0 per bucket of IssueBucket cycles —
+	// the raw material for visualizing sub-core imbalance over time.
+	IssueTimeline [][]uint32
+	IssueBucket   int
+}
+
+// MeanOccupancy returns the average resident warps on SM 0.
+func (r *Run) MeanOccupancy() float64 {
+	if r.OccupancySamples == 0 {
+		return 0
+	}
+	return float64(r.OccupancySum) / float64(r.OccupancySamples)
+}
+
+// NewRun sizes a Run for an SM/sub-core topology.
+func NewRun(numSMs, subCoresPerSM int) *Run {
+	r := &Run{SMs: make([]SM, numSMs)}
+	for i := range r.SMs {
+		r.SMs[i].SubCores = make([]SubCore, subCoresPerSM)
+	}
+	return r
+}
+
+// IPC returns instructions per cycle for the whole GPU.
+func (r *Run) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// IssuePerSubCore returns the per-sub-core issued-instruction totals
+// across all SMs, concatenated SM-major.
+func (r *Run) IssuePerSubCore() []int64 {
+	var out []int64
+	for i := range r.SMs {
+		for j := range r.SMs[i].SubCores {
+			out = append(out, r.SMs[i].SubCores[j].Issued)
+		}
+	}
+	return out
+}
+
+// IssueCoV returns the mean over SMs of the coefficient of variation of
+// instructions issued per sub-core — Fig 17's metric. SMs that issued
+// nothing are skipped.
+func (r *Run) IssueCoV() float64 {
+	var sum float64
+	var n int
+	for i := range r.SMs {
+		vals := make([]float64, 0, len(r.SMs[i].SubCores))
+		var total int64
+		for j := range r.SMs[i].SubCores {
+			v := r.SMs[i].SubCores[j].Issued
+			total += v
+			vals = append(vals, float64(v))
+		}
+		if total == 0 {
+			continue
+		}
+		sum += CoV(vals)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// TotalStalls sums a stall reason across every sub-core.
+func (r *Run) TotalStalls(reason StallReason) int64 {
+	var t int64
+	for i := range r.SMs {
+		for j := range r.SMs[i].SubCores {
+			t += r.SMs[i].SubCores[j].StallCycles[reason]
+		}
+	}
+	return t
+}
+
+// TotalBankConflicts sums register bank conflicts across the GPU.
+func (r *Run) TotalBankConflicts() int64 {
+	var t int64
+	for i := range r.SMs {
+		for j := range r.SMs[i].SubCores {
+			t += r.SMs[i].SubCores[j].BankConflicts
+		}
+	}
+	return t
+}
+
+// TotalRegReads sums granted register reads across the GPU.
+func (r *Run) TotalRegReads() int64 {
+	var t int64
+	for i := range r.SMs {
+		for j := range r.SMs[i].SubCores {
+			t += r.SMs[i].SubCores[j].RegReads
+		}
+	}
+	return t
+}
+
+// MeanReadsPerCycle returns the average over the traced reads-per-cycle
+// series, in 4-byte-read units (the red line in Fig 14).
+func (r *Run) MeanReadsPerCycle() float64 {
+	if len(r.ReadsPerCycle) == 0 {
+		return 0
+	}
+	var s int64
+	for _, v := range r.ReadsPerCycle {
+		s += int64(v)
+	}
+	return float64(s) / float64(len(r.ReadsPerCycle))
+}
+
+// CoV returns the coefficient of variation (population stddev / mean) of
+// vals; 0 when the mean is 0.
+func CoV(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, v := range vals {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(vals))) / mean
+}
+
+// GeoMean returns the geometric mean of positive values; values <= 0 are
+// skipped (speedup tables never contain them).
+func GeoMean(vals []float64) float64 {
+	var s float64
+	var n int
+	for _, v := range vals {
+		if v > 0 {
+			s += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(s / float64(n))
+}
+
+// Mean returns the arithmetic mean, 0 for empty input.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank on a
+// copy of vals.
+func Percentile(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), vals...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(cp)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return cp[rank]
+}
+
+// Histogram buckets vals into n equal-width bins over [min, max] and
+// returns the counts. Used to summarize Fig 14's read distribution.
+func Histogram(vals []uint16, nbins int, maxVal int) []int64 {
+	if nbins < 1 {
+		nbins = 1
+	}
+	bins := make([]int64, nbins)
+	if maxVal < 1 {
+		maxVal = 1
+	}
+	for _, v := range vals {
+		b := int(v) * nbins / (maxVal + 1)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		bins[b]++
+	}
+	return bins
+}

@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestCoV(t *testing.T) {
+	if got := CoV([]float64{5, 5, 5, 5}); !almost(got, 0) {
+		t.Errorf("CoV uniform = %v, want 0", got)
+	}
+	// mean 2, deviations {-2,2,... } => stddev 2 => cov 1
+	if got := CoV([]float64{0, 4, 0, 4}); !almost(got, 1) {
+		t.Errorf("CoV = %v, want 1", got)
+	}
+	if got := CoV(nil); got != 0 {
+		t.Errorf("CoV(nil) = %v", got)
+	}
+	if got := CoV([]float64{0, 0}); got != 0 {
+		t.Errorf("CoV zero-mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !almost(got, 2) {
+		t.Errorf("GeoMean = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{2, 2, 0, -1}); !almost(got, 2) {
+		t.Errorf("GeoMean skipping nonpositive = %v, want 2", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+}
+
+func TestMeanAndPercentile(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); !almost(got, 2) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	vals := []float64{9, 1, 5, 3, 7}
+	if got := Percentile(vals, 0); !almost(got, 1) {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(vals, 100); !almost(got, 9) {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(vals, 50); !almost(got, 5) {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v", got)
+	}
+	// Percentile must not mutate its input.
+	if vals[0] != 9 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	r := NewRun(2, 4)
+	if len(r.SMs) != 2 || len(r.SMs[0].SubCores) != 4 {
+		t.Fatal("NewRun mis-sized")
+	}
+	for i := range r.SMs {
+		for j := range r.SMs[i].SubCores {
+			r.SMs[i].SubCores[j].Issued = int64(100 * (j + 1))
+			r.SMs[i].SubCores[j].BankConflicts = 3
+			r.SMs[i].SubCores[j].RegReads = 7
+			r.SMs[i].SubCores[j].StallCycles[StallNoCU] = 2
+		}
+	}
+	r.Cycles = 1000
+	r.Instructions = 2000
+	if !almost(r.IPC(), 2) {
+		t.Errorf("IPC = %v", r.IPC())
+	}
+	if got := r.TotalBankConflicts(); got != 24 {
+		t.Errorf("TotalBankConflicts = %d, want 24", got)
+	}
+	if got := r.TotalRegReads(); got != 56 {
+		t.Errorf("TotalRegReads = %d, want 56", got)
+	}
+	if got := r.TotalStalls(StallNoCU); got != 16 {
+		t.Errorf("TotalStalls = %d, want 16", got)
+	}
+	issue := r.IssuePerSubCore()
+	if len(issue) != 8 || issue[0] != 100 || issue[7] != 400 {
+		t.Errorf("IssuePerSubCore = %v", issue)
+	}
+	// Per-SM issue {100,200,300,400}: mean 250, stddev sqrt(12500)
+	wantCov := math.Sqrt(12500) / 250
+	if got := r.IssueCoV(); !almost(got, wantCov) {
+		t.Errorf("IssueCoV = %v, want %v", got, wantCov)
+	}
+}
+
+func TestIssueCoVSkipsIdleSMs(t *testing.T) {
+	r := NewRun(2, 2)
+	r.SMs[0].SubCores[0].Issued = 10
+	r.SMs[0].SubCores[1].Issued = 10
+	// SM 1 issued nothing; must not drag CoV.
+	if got := r.IssueCoV(); !almost(got, 0) {
+		t.Errorf("IssueCoV = %v, want 0", got)
+	}
+	empty := NewRun(1, 2)
+	if got := empty.IssueCoV(); got != 0 {
+		t.Errorf("IssueCoV all-idle = %v", got)
+	}
+}
+
+func TestZeroCycleIPC(t *testing.T) {
+	var r Run
+	if r.IPC() != 0 {
+		t.Error("IPC of empty run must be 0")
+	}
+}
+
+func TestReadsPerCycleStats(t *testing.T) {
+	r := &Run{ReadsPerCycle: []uint16{0, 10, 20, 30}}
+	if got := r.MeanReadsPerCycle(); !almost(got, 15) {
+		t.Errorf("MeanReadsPerCycle = %v", got)
+	}
+	var empty Run
+	if empty.MeanReadsPerCycle() != 0 {
+		t.Error("empty trace mean must be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]uint16{0, 1, 2, 3, 255, 128}, 4, 255)
+	var total int64
+	for _, c := range h {
+		total += c
+	}
+	if total != 6 {
+		t.Errorf("histogram total = %d, want 6", total)
+	}
+	if h[0] != 4 {
+		t.Errorf("bin0 = %d, want 4", h[0])
+	}
+	if h[3] != 1 {
+		t.Errorf("bin3 = %d, want 1", h[3])
+	}
+	if got := Histogram(nil, 0, 0); len(got) != 1 {
+		t.Errorf("degenerate histogram len = %d", len(got))
+	}
+}
+
+func TestStallReasonString(t *testing.T) {
+	if StallNoCU.String() != "no-cu" || StallBarrier.String() != "barrier" {
+		t.Error("stall names wrong")
+	}
+	if StallReason(99).String() == "" {
+		t.Error("unknown stall reason must stringify")
+	}
+}
+
+// Property: CoV is scale-invariant (CoV(k*x) == CoV(x) for k > 0).
+func TestCoVScaleInvariantProperty(t *testing.T) {
+	f := func(a, b, c uint8, k uint8) bool {
+		vals := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		scale := float64(k%9) + 1
+		scaled := []float64{vals[0] * scale, vals[1] * scale, vals[2] * scale}
+		return math.Abs(CoV(vals)-CoV(scaled)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GeoMean lies between min and max of positive inputs.
+func TestGeoMeanBoundsProperty(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		vals := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		g := GeoMean(vals)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

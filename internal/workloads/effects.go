@@ -1,0 +1,116 @@
+package workloads
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/program"
+)
+
+// This file holds targeted microbenchmarks for the four orthogonal
+// partitioning effects the paper identifies in Section I:
+//
+//  1. register-file bank conflicts   (BankConflictMicro)
+//  2. sub-core issue imbalance       (FMAMicro, micro.go)
+//  3. diverse execution-unit demands (EUDiverseMicro)
+//  4. diverse register-capacity demands under concurrent kernels
+//     (RegCapacityPair)
+
+// BankConflictMicro stresses effect 1: every FMA's three operands share a
+// bank parity class, so a two-bank sub-core serializes reads while a
+// monolithic SM spreads them over eight banks.
+func BankConflictMicro() *gpu.Kernel {
+	b := program.NewBuilder()
+	b.Loop(192, func(lb *program.Builder) {
+		lb.FMA(4, 6, 8, 4)
+		lb.FMA(10, 6, 8, 10)
+		lb.FMA(12, 6, 8, 12)
+		lb.FMA(14, 6, 8, 14)
+	})
+	p := b.MustBuild()
+	return &gpu.Kernel{
+		Name:          "effect1-bankconflict",
+		Blocks:        8,
+		WarpsPerBlock: 16,
+		RegsPerThread: 24,
+		WarpProgram:   func(block, w int) *program.Program { return p },
+	}
+}
+
+// EUDiverseMicro stresses effect 3: warp-specialized blocks where every
+// fourth warp hammers the tensor core and the rest run special-function
+// code. Under round-robin assignment all tensor warps share one
+// sub-core's single tensor pipe while the other three sub-cores' tensor
+// pipes idle; a monolithic SM pools them.
+func EUDiverseMicro() *gpu.Kernel {
+	tensor := func() *program.Program {
+		b := program.NewBuilder()
+		b.Loop(256, func(lb *program.Builder) {
+			lb.Tensor(4, 1, 2, 4)
+			lb.Tensor(5, 1, 2, 5)
+		})
+		b.Bar()
+		return b.MustBuild()
+	}()
+	sfu := func() *program.Program {
+		b := program.NewBuilder()
+		b.Loop(64, func(lb *program.Builder) {
+			lb.SFU(4, 4)
+			lb.SFU(5, 5)
+		})
+		b.Bar()
+		return b.MustBuild()
+	}()
+	return &gpu.Kernel{
+		Name:          "effect3-eudiverse",
+		Blocks:        8,
+		WarpsPerBlock: 16,
+		RegsPerThread: 16,
+		WarpProgram: func(block, w int) *program.Program {
+			if w%4 == 0 {
+				return tensor
+			}
+			return sfu
+		},
+	}
+}
+
+// RegCapacityPair stresses effect 4: two concurrent kernels with very
+// different register footprints. The fat kernel's warps need 8 KB of
+// register file each; once thin-kernel warps fragment the per-sub-core
+// files, a partitioned SM strands capacity it could not strand if the
+// register file were one pool.
+func RegCapacityPair() (fat, thin *gpu.Kernel) {
+	// Both kernels are latency-bound (serial dependence chains), so
+	// throughput tracks resident-warp occupancy — which is exactly what
+	// per-sub-core register fragmentation limits.
+	fatProg := func() *program.Program {
+		b := program.NewBuilder()
+		b.Loop(220, func(lb *program.Builder) {
+			lb.FMA(4, 1, 2, 4)
+			lb.SFU(5, 5)
+		})
+		return b.MustBuild()
+	}()
+	thinProg := func() *program.Program {
+		b := program.NewBuilder()
+		b.Loop(60, func(lb *program.Builder) {
+			lb.IADD(4, 1, 4)
+			lb.SFU(5, 5)
+		})
+		return b.MustBuild()
+	}()
+	fat = &gpu.Kernel{
+		Name:          "effect4-fat",
+		Blocks:        32,
+		WarpsPerBlock: 4,
+		RegsPerThread: 128, // 16 KB per warp: a sub-core holds at most 4
+		WarpProgram:   func(block, w int) *program.Program { return fatProg },
+	}
+	thin = &gpu.Kernel{
+		Name:          "effect4-thin",
+		Blocks:        32,
+		WarpsPerBlock: 6,  // odd shape keeps fragmenting the sub-cores
+		RegsPerThread: 20, // 2.5 KB per warp strands 16KB-misaligned space
+		WarpProgram:   func(block, w int) *program.Program { return thinProg },
+	}
+	return fat, thin
+}

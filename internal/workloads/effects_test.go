@@ -1,0 +1,95 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+)
+
+func TestBankConflictMicroShape(t *testing.T) {
+	k := BankConflictMicro()
+	cfg := config.VoltaV100()
+	if err := k.Validate(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Every FMA's three source registers share one parity class (even).
+	prog := k.WarpProgram(0, 0)
+	c := prog.Cursor()
+	for {
+		in, ok := c.Next()
+		if !ok {
+			break
+		}
+		if in.Op != isa.OpFMA {
+			continue
+		}
+		for _, s := range in.Srcs {
+			if s.Valid() && s%2 != 0 {
+				t.Fatalf("operand R%d breaks the parity clustering", s)
+			}
+		}
+	}
+}
+
+func TestEUDiverseMicroLayout(t *testing.T) {
+	k := EUDiverseMicro()
+	cfg := config.VoltaV100()
+	if err := k.Validate(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	countClass := func(w int, class isa.Class) int {
+		n := 0
+		c := k.WarpProgram(0, w).Cursor()
+		for {
+			in, ok := c.Next()
+			if !ok {
+				return n
+			}
+			if in.Op.UnitOf() == class {
+				n++
+			}
+		}
+	}
+	// Warp 0: tensor-heavy; warp 1: SFU-heavy.
+	if countClass(0, isa.ClassTensor) == 0 || countClass(0, isa.ClassSFU) != 0 {
+		t.Error("warp 0 must be tensor-specialized")
+	}
+	if countClass(1, isa.ClassSFU) == 0 || countClass(1, isa.ClassTensor) != 0 {
+		t.Error("warp 1 must be SFU-specialized")
+	}
+	// One tensor warp in four.
+	tensorWarps := 0
+	for w := 0; w < k.WarpsPerBlock; w++ {
+		if countClass(w, isa.ClassTensor) > 0 {
+			tensorWarps++
+		}
+	}
+	if tensorWarps != k.WarpsPerBlock/4 {
+		t.Errorf("tensor warps = %d, want %d", tensorWarps, k.WarpsPerBlock/4)
+	}
+}
+
+func TestRegCapacityPairShapes(t *testing.T) {
+	fat, thin := RegCapacityPair()
+	cfg := config.VoltaV100()
+	if err := fat.Validate(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := thin.Validate(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	// The fat kernel's per-warp register footprint must be a large
+	// fraction of one sub-core's file.
+	fatBytes := fat.RegsPerThread * 32 * 4
+	if fatBytes*4 < cfg.RegFileKBPerSubCore*1024 {
+		t.Errorf("fat warp footprint %dB too small to stress capacity", fatBytes)
+	}
+	if thin.RegsPerThread >= fat.RegsPerThread/2 {
+		t.Error("thin kernel not meaningfully thinner")
+	}
+	// The fat warp runs much longer than the thin warp.
+	if fat.WarpProgram(0, 0).Len() < 3*thin.WarpProgram(0, 0).Len() {
+		t.Error("fat warps should dominate runtime")
+	}
+}

@@ -1,0 +1,162 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// FMALayout selects one of the Fig. 4 thread-block layouts.
+type FMALayout uint8
+
+const (
+	// FMABaseline: 8 compute warps per block, no empty warps.
+	FMABaseline FMALayout = iota
+	// FMABalanced: 8 compute + 24 empty warps, compute warps spread so
+	// round-robin assignment gives each sub-core two.
+	FMABalanced
+	// FMAUnbalanced: 8 compute + 24 empty warps, compute warps at
+	// positions 0,4,8,... so round-robin parks them all on sub-core 0.
+	FMAUnbalanced
+)
+
+// String names the layout.
+func (l FMALayout) String() string {
+	switch l {
+	case FMABaseline:
+		return "baseline"
+	case FMABalanced:
+		return "balanced"
+	case FMAUnbalanced:
+		return "unbalanced"
+	default:
+		return fmt.Sprintf("FMALayout(%d)", uint8(l))
+	}
+}
+
+// FMAMicro builds the Section III-B microbenchmark: each compute thread
+// performs `fmas` register-resident fused multiply-adds and then waits at
+// a block-wide barrier; empty threads only hit the barrier. fmas is 4096
+// in the paper; scaled-down values preserve the effect.
+func FMAMicro(layout FMALayout, fmas int) *gpu.Kernel {
+	compute := func() *program.Program {
+		b := program.NewBuilder()
+		// 4 independent accumulator chains over register-resident data.
+		b.Loop(int64(fmas/4), func(lb *program.Builder) {
+			lb.FMA(4, 1, 2, 4)
+			lb.FMA(5, 1, 3, 5)
+			lb.FMA(6, 2, 3, 6)
+			lb.FMA(7, 1, 2, 7)
+		})
+		b.Bar()
+		return b.MustBuild()
+	}()
+	empty := program.NewBuilder().Bar().MustBuild()
+
+	warps := 8
+	if layout != FMABaseline {
+		warps = 32 // 8 compute + 24 empty (256 + 768 threads)
+	}
+	return &gpu.Kernel{
+		Name:          "fma-" + layout.String(),
+		Blocks:        8,
+		WarpsPerBlock: warps,
+		RegsPerThread: 16,
+		WarpProgram: func(block, w int) *program.Program {
+			switch layout {
+			case FMABaseline:
+				return compute
+			case FMAUnbalanced:
+				if w%4 == 0 {
+					return compute
+				}
+				return empty
+			default: // FMABalanced
+				if w < 8 {
+					return compute
+				}
+				return empty
+			}
+		},
+	}
+}
+
+// FMAImbalanceScaled builds the Fig. 8 experiment: the unbalanced layout
+// with the compute warps' work scaled by `scale` relative to a fixed
+// budget, so the imbalance magnitude sweeps while total work is constant
+// per compute warp.
+func FMAImbalanceScaled(scale int) *gpu.Kernel {
+	k := FMAMicro(FMAUnbalanced, 256*scale)
+	k.Name = fmt.Sprintf("fma-unbalanced-x%d", scale)
+	return k
+}
+
+// RFStressMicro builds one of the seven register-file bank-conflict
+// stress microbenchmarks used in Section V to validate the collector-unit
+// count against silicon. Variants differ in operand count, bank
+// placement, and instruction-level parallelism, spanning the conflict
+// behaviours the operand collector must hide.
+func RFStressMicro(variant int) *gpu.Kernel {
+	if variant < 0 || variant >= NumRFStressMicros {
+		panic(fmt.Sprintf("workloads: RF stress variant %d out of range", variant))
+	}
+	b := program.NewBuilder()
+	const iters = 192
+	switch variant {
+	case 0: // all three sources in one bank-parity class, serial chain
+		b.Loop(iters, func(lb *program.Builder) {
+			lb.FMA(4, 6, 8, 4)
+		})
+	case 1: // conflicting sources, 4 independent chains
+		b.Loop(iters/4, func(lb *program.Builder) {
+			lb.FMA(4, 6, 8, 4)
+			lb.FMA(10, 6, 8, 10)
+			lb.FMA(12, 6, 8, 12)
+			lb.FMA(14, 6, 8, 14)
+		})
+	case 2: // spread sources, 4 independent chains (conflict-light)
+		b.Loop(iters/4, func(lb *program.Builder) {
+			lb.FMA(4, 1, 2, 4)
+			lb.FMA(5, 1, 2, 5)
+			lb.FMA(6, 3, 2, 6)
+			lb.FMA(7, 3, 2, 7)
+		})
+	case 3: // two-source adds, all same parity
+		b.Loop(iters/2, func(lb *program.Builder) {
+			lb.FADD(4, 6, 4)
+			lb.FADD(8, 6, 8)
+		})
+	case 4: // mixed FMA + MOV pressure
+		b.Loop(iters/3, func(lb *program.Builder) {
+			lb.FMA(4, 6, 8, 4)
+			lb.MOV(10, 6)
+			lb.FMA(12, 10, 8, 12)
+		})
+	case 5: // wide ILP (8 chains) with conflicting operands
+		b.Loop(iters/8, func(lb *program.Builder) {
+			for i := 0; i < 8; i++ {
+				d := isa.Reg(4 + 2*i)
+				lb.FMA(d, 6, 8, d)
+			}
+		})
+	case 6: // alternate parity classes every instruction
+		b.Loop(iters/2, func(lb *program.Builder) {
+			lb.FMA(4, 6, 8, 4)
+			lb.FMA(5, 7, 9, 5)
+		})
+	}
+	p := b.MustBuild()
+	return &gpu.Kernel{
+		Name:          fmt.Sprintf("rfstress-%d", variant),
+		Blocks:        8,
+		WarpsPerBlock: 16,
+		RegsPerThread: 24,
+		WarpProgram:   func(block, w int) *program.Program { return p },
+	}
+}
+
+// NumRFStressMicros is the validation microbenchmark count (seven, per
+// Section V).
+const NumRFStressMicros = 7

@@ -1,0 +1,354 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/isa"
+)
+
+// CuGraph builds the seven graph-analytics applications (Table III). The
+// suite's defining trait (Section VI-B1): a large proportion of
+// register-intensive instructions that access a limited set of registers
+// repeatedly — so RBA's scheduling beats even the fully-connected SM's
+// extra banks — plus irregular, random-access neighbor reads.
+func CuGraph() []App {
+	type g struct {
+		name  string
+		iters int
+		loads int
+		fmas  int
+		iadds int
+	}
+	graphs := []g{
+		{"cg-lou", 28, 1, 3, 2},   // Louvain: modularity accumulation
+		{"cg-bfs", 24, 1, 2, 4},   // BFS: frontier expansion
+		{"cg-sssp", 26, 1, 2, 3},  // SSSP: relaxations
+		{"cg-pgrnk", 30, 1, 4, 1}, // PageRank: rank accumulation
+		{"cg-wcc", 24, 1, 2, 4},   // WCC: label propagation
+		{"cg-katz", 28, 1, 4, 1},  // Katz: centrality accumulation
+		{"cg-hits", 26, 1, 4, 2},  // HITS: hub/authority updates
+	}
+	apps := make([]App, 0, len(graphs))
+	for _, gr := range graphs {
+		p := Profile{
+			Name:          gr.name,
+			Blocks:        28,
+			WarpsPerBlock: 12,
+			RegsPerThread: 40,
+			Iters:         gr.iters,
+			ILP:           4,
+			FMAs:          gr.fmas + 3,
+			IAdds:         gr.iadds,
+			Loads:         gr.loads,
+			LoadTrait:     isa.MemTrait{Pattern: isa.PatRandom, Footprint: 96 << 10, Shared: true, Divergence: 4},
+			OperandMode:   OperandsNarrow,
+		}
+		apps = append(apps, App{
+			Name: gr.name, Suite: "cugraph",
+			Sensitive: true, RFSensitive: true,
+			Kernels: kernelsOf(&p),
+		})
+	}
+	return apps
+}
+
+// Rodinia builds fifteen heterogeneous-computing kernels with the suite's
+// broad mix of communication patterns. Table III's sensitive entries are
+// lavaMD, bp, srad and htsp.
+func Rodinia() []App {
+	mk := func(name string, sensitive, rf bool, p Profile) App {
+		p.Name = name
+		return App{Name: name, Suite: "rodinia", Sensitive: sensitive, RFSensitive: rf, Kernels: kernelsOf(&p)}
+	}
+	stream := func(kb uint32) isa.MemTrait {
+		return isa.MemTrait{Pattern: isa.PatCoalesced, Footprint: kb << 10, Shared: true}
+	}
+	return []App{
+		// Particle potential: dense FMA + SFU inner loop over neighbor
+		// particles staged in shared memory.
+		mk("rod-lavaMD", true, true, Profile{
+			Blocks: 24, WarpsPerBlock: 8, RegsPerThread: 48, Iters: 40, ILP: 4,
+			FMAs: 4, SFUs: 1, SharedOps: 1, SharedTrait: isa.MemTrait{Pattern: isa.PatCoalesced},
+			SharedMemPerBlock: 8 << 10, BarrierEvery: 10, OperandMode: OperandsClustered,
+		}),
+		// Back propagation: two phases of weight updates, RF-hungry.
+		mk("rod-bp", true, true, Profile{
+			Blocks: 32, WarpsPerBlock: 8, RegsPerThread: 32, Iters: 36, ILP: 6,
+			FMAs: 4, Loads: 1, LoadTrait: stream(512), SharedMemPerBlock: 4 << 10,
+			BarrierEvery: 12, OperandMode: OperandsClustered,
+		}),
+		// Speckle-reducing anisotropic diffusion: stencil with heavy FMA
+		// bursts (the Fig. 14 case where RBA beats fully-connected).
+		mk("rod-srad", true, true, Profile{
+			Blocks: 32, WarpsPerBlock: 8, RegsPerThread: 36, Iters: 40, ILP: 6,
+			FMAs: 6, Loads: 1, LoadTrait: stream(96), SFUs: 1,
+			OperandMode: OperandsClustered,
+		}),
+		// Hotspot3D: 3D stencil, memory and compute balanced.
+		mk("rod-htsp", true, false, Profile{
+			Blocks: 28, WarpsPerBlock: 8, RegsPerThread: 32, Iters: 32, ILP: 3,
+			FMAs: 3, Loads: 2, LoadTrait: stream(1024), Stores: 1,
+			StoreTrait: stream(1024),
+		}),
+		mk("rod-bfs", false, false, Profile{
+			Blocks: 24, WarpsPerBlock: 8, RegsPerThread: 24, Iters: 24, ILP: 2,
+			IAdds: 3, Loads: 2, LoadTrait: isa.MemTrait{Pattern: isa.PatRandom, Footprint: 512 << 10, Shared: true, Divergence: 8},
+		}),
+		mk("rod-kmeans", false, false, Profile{
+			Blocks: 28, WarpsPerBlock: 8, RegsPerThread: 28, Iters: 30, ILP: 3,
+			FMAs: 3, Loads: 1, LoadTrait: stream(512),
+		}),
+		mk("rod-nw", false, false, Profile{
+			Blocks: 20, WarpsPerBlock: 4, RegsPerThread: 24, Iters: 28, ILP: 2,
+			IAdds: 3, SharedOps: 2, SharedTrait: isa.MemTrait{Pattern: isa.PatStrided, StrideBytes: 8},
+			SharedMemPerBlock: 8 << 10, BarrierEvery: 7,
+		}),
+		mk("rod-hotspot", false, false, Profile{
+			Blocks: 28, WarpsPerBlock: 8, RegsPerThread: 28, Iters: 28, ILP: 3,
+			FMAs: 3, Loads: 1, LoadTrait: stream(768), SharedMemPerBlock: 4 << 10,
+			BarrierEvery: 14,
+		}),
+		mk("rod-cfd", false, false, Profile{
+			Blocks: 24, WarpsPerBlock: 12, RegsPerThread: 44, Iters: 24, ILP: 3,
+			FMAs: 4, Loads: 2, LoadTrait: stream(1536), SFUs: 1,
+		}),
+		mk("rod-gaussian", false, false, Profile{
+			Blocks: 24, WarpsPerBlock: 8, RegsPerThread: 20, Iters: 26, ILP: 2,
+			FMAs: 2, Loads: 1, LoadTrait: stream(512), Stores: 1, StoreTrait: stream(512),
+		}),
+		mk("rod-pf", false, false, Profile{
+			Blocks: 20, WarpsPerBlock: 8, RegsPerThread: 28, Iters: 30, ILP: 3,
+			FMAs: 2, SFUs: 2, Loads: 1, LoadTrait: isa.MemTrait{Pattern: isa.PatRandom, Footprint: 256 << 10, Shared: true, Divergence: 8},
+		}),
+		mk("rod-strmcl", false, false, Profile{
+			Blocks: 24, WarpsPerBlock: 8, RegsPerThread: 28, Iters: 26, ILP: 3,
+			FMAs: 3, Loads: 1, LoadTrait: stream(1024),
+		}),
+		mk("rod-heartwall", false, false, Profile{
+			Blocks: 20, WarpsPerBlock: 12, RegsPerThread: 36, Iters: 28, ILP: 3,
+			FMAs: 3, Loads: 2, LoadTrait: stream(896), SharedMemPerBlock: 6 << 10,
+			BarrierEvery: 14,
+		}),
+		mk("rod-leuko", false, false, Profile{
+			Blocks: 24, WarpsPerBlock: 8, RegsPerThread: 32, Iters: 30, ILP: 3,
+			FMAs: 3, SFUs: 1, Loads: 1, LoadTrait: stream(640),
+		}),
+		mk("rod-myocyte", false, false, Profile{
+			Blocks: 16, WarpsPerBlock: 4, RegsPerThread: 52, Iters: 44, ILP: 4,
+			FMAs: 4, SFUs: 2,
+		}),
+	}
+}
+
+// Parboil builds ten throughput-computing kernels. The Table III entries
+// (mriq, mrig, sad, sgemm, cutcp) saturate the read-operand stage.
+func Parboil() []App {
+	mk := func(name string, sensitive, rf bool, p Profile) App {
+		p.Name = name
+		return App{Name: name, Suite: "parboil", Sensitive: sensitive, RFSensitive: rf, Kernels: kernelsOf(&p)}
+	}
+	stream := func(kb uint32) isa.MemTrait {
+		return isa.MemTrait{Pattern: isa.PatCoalesced, Footprint: kb << 10, Shared: true}
+	}
+	return []App{
+		// MRI-Q: per-sample trig-heavy FMA bursts — the paper's flagship
+		// read-operand-limited app (Fig. 14a-c).
+		mk("pb-mriq", true, true, Profile{
+			Blocks: 32, WarpsPerBlock: 8, RegsPerThread: 40, Iters: 44, ILP: 6,
+			FMAs: 5, SFUs: 1, OperandMode: OperandsClustered,
+		}),
+		// MRI-Gridding: scattered accumulation with dense FMA.
+		mk("pb-mrig", true, true, Profile{
+			Blocks: 28, WarpsPerBlock: 8, RegsPerThread: 32, Iters: 36, ILP: 6,
+			FMAs: 5, Loads: 1, LoadTrait: isa.MemTrait{Pattern: isa.PatRandom, Footprint: 128 << 10, Shared: true, Divergence: 4},
+			OperandMode: OperandsClustered,
+		}),
+		// SAD: sum of absolute differences, INT-heavy with streaming reads.
+		mk("pb-sad", true, false, Profile{
+			Blocks: 32, WarpsPerBlock: 8, RegsPerThread: 28, Iters: 32, ILP: 4,
+			IAdds: 5, Loads: 1, LoadTrait: stream(1024),
+		}),
+		// SGEMM: register-blocked dense matrix multiply.
+		mk("pb-sgemm", true, true, Profile{
+			Blocks: 28, WarpsPerBlock: 8, RegsPerThread: 48, Iters: 40, ILP: 6,
+			FMAs: 6, SharedOps: 1, SharedTrait: isa.MemTrait{Pattern: isa.PatCoalesced},
+			SharedMemPerBlock: 8 << 10, BarrierEvery: 10, OperandMode: OperandsClustered,
+		}),
+		// CUTCP: distance-cutoff Coulombic potential, FMA + rsqrt.
+		mk("pb-cutcp", true, true, Profile{
+			Blocks: 28, WarpsPerBlock: 8, RegsPerThread: 36, Iters: 36, ILP: 6,
+			FMAs: 4, SFUs: 1, SharedOps: 1, SharedTrait: isa.MemTrait{Pattern: isa.PatCoalesced},
+			SharedMemPerBlock: 4 << 10, BarrierEvery: 12, OperandMode: OperandsClustered,
+		}),
+		mk("pb-spmv", false, false, Profile{
+			Blocks: 28, WarpsPerBlock: 8, RegsPerThread: 24, Iters: 26, ILP: 2,
+			FMAs: 2, Loads: 2, LoadTrait: isa.MemTrait{Pattern: isa.PatRandom, Footprint: 768 << 10, Shared: true, Divergence: 8},
+		}),
+		mk("pb-stencil", false, false, Profile{
+			Blocks: 32, WarpsPerBlock: 8, RegsPerThread: 28, Iters: 28, ILP: 3,
+			FMAs: 3, Loads: 2, LoadTrait: stream(1280), Stores: 1, StoreTrait: stream(1280),
+		}),
+		mk("pb-lbm", false, false, Profile{
+			Blocks: 24, WarpsPerBlock: 8, RegsPerThread: 56, Iters: 24, ILP: 4,
+			FMAs: 5, Loads: 2, LoadTrait: stream(2048), Stores: 2, StoreTrait: stream(2048),
+		}),
+		mk("pb-histo", false, false, Profile{
+			Blocks: 24, WarpsPerBlock: 8, RegsPerThread: 20, Iters: 24, ILP: 2,
+			IAdds: 3, Loads: 1, LoadTrait: stream(768),
+			SharedOps: 1, SharedTrait: isa.MemTrait{Pattern: isa.PatRandom}, SharedMemPerBlock: 4 << 10,
+		}),
+		mk("pb-tpacf", false, false, Profile{
+			Blocks: 24, WarpsPerBlock: 8, RegsPerThread: 32, Iters: 32, ILP: 3,
+			FMAs: 3, SFUs: 1, SharedOps: 1, SharedTrait: isa.MemTrait{Pattern: isa.PatCoalesced},
+			SharedMemPerBlock: 4 << 10,
+		}),
+	}
+}
+
+// Polybench builds eighteen static-control-flow kernels. The Table III
+// entries are the 2D and 3D convolutions, which are read-operand-limited.
+func Polybench() []App {
+	mk := func(name string, sensitive, rf bool, p Profile) App {
+		p.Name = name
+		return App{Name: name, Suite: "polybench", Sensitive: sensitive, RFSensitive: rf, Kernels: kernelsOf(&p)}
+	}
+	stream := func(kb uint32) isa.MemTrait {
+		return isa.MemTrait{Pattern: isa.PatCoalesced, Footprint: kb << 10, Shared: true}
+	}
+	conv := func(name string, blocks, iters, fmas int) App {
+		// Convolutions read their input tile from shared memory and spend
+		// the inner loop in FMA bursts — the read-operand-limited shape
+		// the paper reports (+24.2% RBA on ply-2Dcon).
+		return mk(name, true, true, Profile{
+			Blocks: blocks, WarpsPerBlock: 8, RegsPerThread: 40, Iters: iters, ILP: 6,
+			FMAs: fmas + 1, SFUs: 1, SharedOps: 1,
+			SharedTrait:       isa.MemTrait{Pattern: isa.PatCoalesced},
+			SharedMemPerBlock: 4 << 10,
+			OperandMode:       OperandsClustered,
+		})
+	}
+	la := func(name string, iters, fmas, loads int, kb uint32) App {
+		return mk(name, false, false, Profile{
+			Blocks: 24, WarpsPerBlock: 8, RegsPerThread: 28, Iters: iters, ILP: 3,
+			FMAs: fmas, Loads: loads, LoadTrait: stream(kb),
+		})
+	}
+	return []App{
+		conv("ply-2Dcon", 32, 40, 5),
+		conv("ply-3Dcon", 28, 36, 6),
+		la("ply-atax", 26, 2, 2, 512),
+		la("ply-bicg", 26, 2, 2, 512),
+		la("ply-gemm", 34, 4, 1, 768),
+		la("ply-gesummv", 24, 2, 2, 640),
+		la("ply-gramschm", 28, 3, 1, 512),
+		la("ply-mvt", 24, 2, 2, 512),
+		la("ply-syr2k", 30, 4, 1, 640),
+		la("ply-syrk", 30, 3, 1, 640),
+		la("ply-2mm", 32, 4, 1, 768),
+		la("ply-3mm", 32, 4, 1, 768),
+		la("ply-corr", 26, 3, 2, 512),
+		la("ply-covar", 26, 3, 2, 512),
+		la("ply-fdtd", 28, 3, 2, 896),
+		la("ply-adi", 24, 3, 2, 768),
+		la("ply-jac1d", 22, 2, 2, 384),
+		la("ply-jac2d", 24, 3, 2, 640),
+	}
+}
+
+// DeepBench builds twelve CNN/RNN training and inference kernels. They
+// lean on the tensor pipes, with the train variants carrying larger
+// working sets (Table III: db-conv-tr/inf, db-rnn-tr/inf).
+func DeepBench() []App {
+	mk := func(name string, sensitive bool, p Profile) App {
+		p.Name = name
+		return App{Name: name, Suite: "deepbench", Sensitive: sensitive, Kernels: kernelsOf(&p)}
+	}
+	stream := func(kb uint32) isa.MemTrait {
+		return isa.MemTrait{Pattern: isa.PatCoalesced, Footprint: kb << 10, Shared: true}
+	}
+	dims := []struct {
+		tag   string
+		scale int
+	}{{"s", 1}, {"l", 2}}
+	var apps []App
+	for _, d := range dims {
+		apps = append(apps,
+			mk(fmt.Sprintf("db-conv-tr-%s", d.tag), d.scale == 2, Profile{
+				Blocks: 24 * d.scale, WarpsPerBlock: 8, RegsPerThread: 48, Iters: 24, ILP: 4,
+				OperandMode: OperandsClustered,
+				Tensors:     2, FMAs: 3, Loads: 1, LoadTrait: stream(uint32(1024 * d.scale)),
+				SharedOps: 1, SharedTrait: isa.MemTrait{Pattern: isa.PatCoalesced},
+				SharedMemPerBlock: 16 << 10, BarrierEvery: 8,
+			}),
+			mk(fmt.Sprintf("db-conv-inf-%s", d.tag), d.scale == 2, Profile{
+				Blocks: 20 * d.scale, WarpsPerBlock: 8, RegsPerThread: 40, Iters: 20, ILP: 4,
+				OperandMode: OperandsClustered,
+				Tensors:     2, FMAs: 2, Loads: 1, LoadTrait: stream(uint32(512 * d.scale)),
+				SharedMemPerBlock: 8 << 10, BarrierEvery: 10,
+			}),
+			mk(fmt.Sprintf("db-rnn-tr-%s", d.tag), d.scale == 2, Profile{
+				Blocks: 20 * d.scale, WarpsPerBlock: 8, RegsPerThread: 44, Iters: 24, ILP: 4,
+				OperandMode: OperandsClustered,
+				Tensors:     1, FMAs: 4, SFUs: 1, Loads: 1, LoadTrait: stream(uint32(768 * d.scale)),
+			}),
+			mk(fmt.Sprintf("db-rnn-inf-%s", d.tag), d.scale == 2, Profile{
+				Blocks: 16 * d.scale, WarpsPerBlock: 8, RegsPerThread: 36, Iters: 20, ILP: 4,
+				OperandMode: OperandsClustered,
+				Tensors:     1, FMAs: 3, SFUs: 1, Loads: 1, LoadTrait: stream(uint32(384 * d.scale)),
+			}),
+			mk(fmt.Sprintf("db-gemm-tr-%s", d.tag), false, Profile{
+				Blocks: 24 * d.scale, WarpsPerBlock: 8, RegsPerThread: 48, Iters: 26, ILP: 4,
+				Tensors: 2, FMAs: 1, SharedOps: 1, SharedTrait: isa.MemTrait{Pattern: isa.PatCoalesced},
+				SharedMemPerBlock: 16 << 10, BarrierEvery: 13,
+			}),
+			mk(fmt.Sprintf("db-gemm-inf-%s", d.tag), false, Profile{
+				Blocks: 20 * d.scale, WarpsPerBlock: 8, RegsPerThread: 40, Iters: 22, ILP: 4,
+				Tensors: 2, Loads: 1, LoadTrait: stream(uint32(512 * d.scale)),
+			}),
+		)
+	}
+	return apps
+}
+
+// Cutlass builds six tiled matrix-multiply problem sizes. The 4096 case
+// is Table III's sensitive entry.
+func Cutlass() []App {
+	sizes := []int{256, 512, 1024, 2048, 4096, 8192}
+	apps := make([]App, 0, len(sizes))
+	for _, n := range sizes {
+		blocks := 8 + n/256
+		iters := 16 + n/128
+		p := Profile{
+			Name:              fmt.Sprintf("cutlass-%d", n),
+			Blocks:            blocks,
+			WarpsPerBlock:     8,
+			RegsPerThread:     56,
+			Iters:             iters,
+			ILP:               6,
+			FMAs:              4,
+			Tensors:           1,
+			SharedOps:         1,
+			SharedTrait:       isa.MemTrait{Pattern: isa.PatCoalesced},
+			SharedMemPerBlock: 24 << 10,
+			BarrierEvery:      8,
+			Loads:             1,
+			LoadTrait:         isa.MemTrait{Pattern: isa.PatCoalesced, Footprint: uint32(n) << 8, Shared: true},
+		}
+		apps = append(apps, App{
+			Name: p.Name, Suite: "cutlass",
+			Sensitive:   n == 4096,
+			RFSensitive: n >= 4096,
+			Kernels:     kernelsOf(&p),
+		})
+	}
+	return apps
+}
+
+// kernelsOf validates and materializes a single-kernel app.
+func kernelsOf(p *Profile) []*gpu.Kernel {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return []*gpu.Kernel{p.Kernel()}
+}

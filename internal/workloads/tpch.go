@@ -1,0 +1,167 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/isa"
+)
+
+// tpchQuery captures the per-query character of the 22 TPC-H queries as
+// executed by spark-rapids (Section V): how many GPU kernels the plan
+// lowers to, how memory-heavy the scans are, and how skewed the warp work
+// is. The paper's key observation is structural: these kernels are
+// warp-specialized with roughly one long-running warp in every four
+// (Section IV-B2), so round-robin sub-core assignment parks every long
+// warp on the same sub-core.
+type tpchQuery struct {
+	// kernels is the number of stages (scan/filter/join/aggregate).
+	kernels int
+	// skew is the long-warp work multiplier (uncompressed database).
+	skew float64
+	// footprintKB sizes the scan/probe working set.
+	footprintKB int
+	// joins marks a join-heavy plan (random-access probe stage).
+	joins bool
+}
+
+// The per-query plan shapes. Skews are set so the baseline coefficient of
+// variation of per-sub-core issue lands near the paper's Fig. 17 (~0.8 on
+// average, ~1.0 for query 8) and the plan sizes loosely track the
+// published query complexities (q1 = heavy aggregation, q9/q8 = largest
+// multi-join plans, q6 = cheap selective scan...).
+var tpchQueries = [22]tpchQuery{
+	{kernels: 2, skew: 6, footprintKB: 512, joins: false}, // q1
+	{kernels: 3, skew: 4, footprintKB: 256, joins: true},  // q2
+	{kernels: 3, skew: 5, footprintKB: 384, joins: true},  // q3
+	{kernels: 2, skew: 4, footprintKB: 256, joins: true},  // q4
+	{kernels: 4, skew: 6, footprintKB: 384, joins: true},  // q5
+	{kernels: 1, skew: 4, footprintKB: 256, joins: false}, // q6
+	{kernels: 4, skew: 6, footprintKB: 384, joins: true},  // q7
+	{kernels: 4, skew: 9, footprintKB: 512, joins: true},  // q8 (largest CoV)
+	{kernels: 5, skew: 7, footprintKB: 640, joins: true},  // q9
+	{kernels: 3, skew: 5, footprintKB: 384, joins: true},  // q10
+	{kernels: 2, skew: 4, footprintKB: 192, joins: true},  // q11
+	{kernels: 2, skew: 5, footprintKB: 256, joins: true},  // q12
+	{kernels: 2, skew: 6, footprintKB: 320, joins: true},  // q13
+	{kernels: 2, skew: 4, footprintKB: 256, joins: true},  // q14
+	{kernels: 3, skew: 5, footprintKB: 256, joins: true},  // q15
+	{kernels: 3, skew: 6, footprintKB: 256, joins: true},  // q16
+	{kernels: 2, skew: 7, footprintKB: 320, joins: true},  // q17
+	{kernels: 3, skew: 8, footprintKB: 512, joins: true},  // q18
+	{kernels: 2, skew: 6, footprintKB: 320, joins: true},  // q19
+	{kernels: 3, skew: 5, footprintKB: 256, joins: true},  // q20
+	{kernels: 4, skew: 7, footprintKB: 384, joins: true},  // q21
+	{kernels: 2, skew: 4, footprintKB: 192, joins: false}, // q22
+}
+
+// oneInFour is the TPC-H warp-work distribution: one long warp in every
+// four (the pattern SRR was designed for).
+func oneInFour(skew float64) func(int) float64 {
+	return func(w int) float64 {
+		if w%4 == 0 {
+			return skew
+		}
+		return 1
+	}
+}
+
+// snappyDecompress models the warp-specialized snappy decompression
+// kernel that leads the compressed benchmarks: within each block one
+// leader warp does ~100x the work of the helpers (Section VI: "average
+// issue imbalance on the order of 100x").
+func snappyDecompress(q int) *gpu.Kernel {
+	p := Profile{
+		Name:          fmt.Sprintf("tpcC-q%d.decomp", q+1),
+		Blocks:        12,
+		WarpsPerBlock: 8,
+		RegsPerThread: 32,
+		Iters:         5,
+		ILP:           6,
+		FMAs:          1,
+		IAdds:         6,
+		Loads:         1,
+		LoadTrait:     isa.MemTrait{Pattern: isa.PatCoalesced, Footprint: 256 << 10, Shared: true},
+		Stores:        1,
+		StoreTrait:    isa.MemTrait{Pattern: isa.PatCoalesced, Footprint: 64 << 10},
+		WarpWork: func(w int) float64 {
+			if w == 0 {
+				return 36
+			}
+			return 1
+		},
+	}
+	return p.Kernel()
+}
+
+// tpchStage builds one query-plan stage kernel.
+func tpchStage(name string, q tpchQuery, stage int, compressed bool) *gpu.Kernel {
+	skew := q.skew
+	if compressed {
+		// Decompression pressure shifts some skew into the scan stages
+		// as well.
+		skew *= 1.3
+	}
+	p := Profile{
+		Name:          name,
+		Blocks:        18,
+		WarpsPerBlock: 16,
+		RegsPerThread: 32,
+		Iters:         12,
+		ILP:           6,
+		IAdds:         4,
+		FMAs:          2,
+		Loads:         1,
+		LoadTrait:     isa.MemTrait{Pattern: isa.PatCoalesced, Footprint: uint32(q.footprintKB) << 10, Shared: true},
+		WarpWork:      oneInFour(skew),
+	}
+	switch {
+	case stage == 0:
+		// Scan/filter: streaming reads, predicate arithmetic, selective
+		// output.
+		p.Stores = 1
+		p.StoreTrait = isa.MemTrait{Pattern: isa.PatCoalesced, Footprint: 64 << 10}
+	case q.joins && stage%2 == 1:
+		// Join probe: hash arithmetic plus partially-coalesced gathers.
+		p.LoadTrait = isa.MemTrait{Pattern: isa.PatRandom, Footprint: uint32(q.footprintKB) << 10, Shared: true, Divergence: 4}
+		p.IAdds = 6
+	default:
+		// Aggregation: compute plus shared-memory reductions.
+		p.SharedOps = 1
+		p.SharedTrait = isa.MemTrait{Pattern: isa.PatCoalesced}
+		p.SharedMemPerBlock = 4096
+		p.FMAs = 3
+		p.IAdds = 5
+	}
+	return p.Kernel()
+}
+
+// TPCH builds the 22-query suite; compressed selects the snappy-
+// compressed database variant with its decompression kernels.
+func TPCH(compressed bool) []App {
+	suite, prefix := "tpch-u", "tpcU"
+	if compressed {
+		suite, prefix = "tpch-c", "tpcC"
+	}
+	apps := make([]App, 0, 22)
+	for qi, q := range tpchQueries {
+		name := fmt.Sprintf("%s-q%d", prefix, qi+1)
+		var kernels []*gpu.Kernel
+		if compressed {
+			kernels = append(kernels, snappyDecompress(qi))
+		}
+		for s := 0; s < q.kernels; s++ {
+			kernels = append(kernels, tpchStage(fmt.Sprintf("%s.s%d", name, s), q, s, compressed))
+		}
+		// Table III picks q8 (uncompressed) and q9 (compressed) as the
+		// representative partitioning-sensitive queries.
+		sensitive := (!compressed && qi == 7) || (compressed && qi == 8)
+		apps = append(apps, App{
+			Name:      name,
+			Suite:     suite,
+			Sensitive: sensitive,
+			Kernels:   kernels,
+		})
+	}
+	return apps
+}

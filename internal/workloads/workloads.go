@@ -1,0 +1,114 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gpu"
+)
+
+// App is one benchmark application: a named sequence of kernels plus the
+// classification flags the experiments select on.
+type App struct {
+	// Name is the figure abbreviation (Table III style), e.g. "tpcU-q8".
+	Name string
+	// Suite is the benchmark suite, e.g. "tpch-u", "cugraph".
+	Suite string
+	// Sensitive marks the Fig. 10 subset: applications limited by the
+	// read-operand stage or by sub-core issue imbalance.
+	Sensitive bool
+	// RFSensitive marks the register-file-throughput-limited subset used
+	// by Figs. 11/12/14.
+	RFSensitive bool
+	// Kernels run sequentially.
+	Kernels []*gpu.Kernel
+}
+
+// Instructions returns the app's total dynamic instruction count.
+func (a *App) Instructions() int64 {
+	var t int64
+	for _, k := range a.Kernels {
+		t += k.Instructions()
+	}
+	return t
+}
+
+// All returns the full 112-application evaluation set, sorted by suite
+// then name. The composition matches Section V: TPC-H compressed and
+// uncompressed (22 queries each), cuGraph (7), Rodinia (15), Parboil
+// (10), Polybench (18), DeepBench (12), and Cutlass (6).
+func All() []App {
+	var apps []App
+	apps = append(apps, TPCH(false)...)
+	apps = append(apps, TPCH(true)...)
+	apps = append(apps, CuGraph()...)
+	apps = append(apps, Rodinia()...)
+	apps = append(apps, Parboil()...)
+	apps = append(apps, Polybench()...)
+	apps = append(apps, DeepBench()...)
+	apps = append(apps, Cutlass()...)
+	sort.Slice(apps, func(i, j int) bool {
+		if apps[i].Suite != apps[j].Suite {
+			return apps[i].Suite < apps[j].Suite
+		}
+		return apps[i].Name < apps[j].Name
+	})
+	return apps
+}
+
+// Sensitive returns the Fig. 10 subset of All.
+func Sensitive() []App {
+	var out []App
+	for _, a := range All() {
+		if a.Sensitive {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// RFSensitive returns the register-file-limited subset (Figs. 11/12/14).
+func RFSensitive() []App {
+	var out []App
+	for _, a := range All() {
+		if a.RFSensitive {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ByName finds an application in All.
+func ByName(name string) (App, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("workloads: unknown application %q", name)
+}
+
+// Suites lists the suite identifiers in All.
+func Suites() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range All() {
+		if !seen[a.Suite] {
+			seen[a.Suite] = true
+			out = append(out, a.Suite)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BySuite returns the apps of one suite.
+func BySuite(suite string) []App {
+	var out []App
+	for _, a := range All() {
+		if a.Suite == suite {
+			out = append(out, a)
+		}
+	}
+	return out
+}

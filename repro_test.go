@@ -1,0 +1,107 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeRun(t *testing.T) {
+	app, err := AppByName("pb-mriq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := VoltaV100()
+	cfg.NumSMs = 2
+	r, err := Run(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles <= 0 || r.Instructions <= 0 {
+		t.Fatal("empty result")
+	}
+	if r.IPC() <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestFacadeRBADeliversOnSensitiveApp(t *testing.T) {
+	app, err := AppByName("pb-sgemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := VoltaV100()
+	cfg.NumSMs = 2
+	base, err := Run(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rba, err := Run(cfg.WithScheduler(SchedRBA), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rba.Cycles >= base.Cycles {
+		t.Errorf("RBA (%d cycles) did not beat GTO (%d) on a RF-bound app", rba.Cycles, base.Cycles)
+	}
+}
+
+func TestFacadeWorkloadCatalog(t *testing.T) {
+	if n := len(Workloads()); n != 112 {
+		t.Errorf("Workloads = %d, want 112", n)
+	}
+	if n := len(Suites()); n != 8 {
+		t.Errorf("Suites = %d, want 8", n)
+	}
+	if len(SensitiveWorkloads()) == 0 {
+		t.Error("no sensitive workloads")
+	}
+	if len(AppsBySuite("cugraph")) != 7 {
+		t.Error("cugraph roster wrong")
+	}
+	if _, err := AppByName("nope"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestFacadeExperimentAPI(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 21 {
+		t.Fatalf("ExperimentIDs = %d, want 21", len(ids))
+	}
+	var sb strings.Builder
+	if err := RenderExperiment("fig13", &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fig13") {
+		t.Error("render missing header")
+	}
+	if _, err := Experiment("figX"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFacadeTPCHConfig(t *testing.T) {
+	cfg := TPCH(VoltaV100())
+	if cfg.NumSMs != 20 {
+		t.Errorf("TPCH NumSMs = %d, want 20", cfg.NumSMs)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeCustomKernel(t *testing.T) {
+	p := WorkloadProfile{
+		Name: "custom", Blocks: 2, WarpsPerBlock: 8, RegsPerThread: 16,
+		Iters: 8, ILP: 2, FMAs: 2,
+	}
+	k := p.Kernel()
+	cfg := VoltaV100()
+	cfg.NumSMs = 1
+	r, err := RunKernel(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instructions != k.Instructions() {
+		t.Errorf("instructions %d != kernel's %d", r.Instructions, k.Instructions())
+	}
+}
