@@ -12,6 +12,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/power"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // colGeoMean pulls a column's per-app values (excluding summary rows) and
@@ -257,4 +258,56 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		instr = r.Instructions
 	}
 	b.ReportMetric(float64(instr*int64(b.N))/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkTracingOverhead guards the internal/trace hot path. "disabled"
+// is the normal simulation with no tracer attached — every emission site
+// reduces to a nil check, and this sub-benchmark must stay within 2% of
+// the pre-tracing baseline (the CI contract). "enabled" attaches a full
+// tracer (all-event ring + 32-cycle counter sampling on SM 0) and shows
+// what observability actually costs when switched on.
+func BenchmarkTracingOverhead(b *testing.B) {
+	app, err := AppByName("pb-mriq")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("disabled", func(b *testing.B) {
+		cfg := VoltaV100()
+		cfg.NumSMs = 4
+		var instr int64
+		for i := 0; i < b.N; i++ {
+			r, err := Run(cfg, app)
+			if err != nil {
+				b.Fatal(err)
+			}
+			instr = r.Instructions
+		}
+		b.ReportMetric(float64(instr*int64(b.N))/b.Elapsed().Seconds(), "instr/s")
+	})
+
+	b.Run("enabled", func(b *testing.B) {
+		cfg := VoltaV100()
+		cfg.NumSMs = 4
+		cfg.TraceSamplePeriod = 32
+		var instr int64
+		for i := 0; i < b.N; i++ {
+			tr := trace.New(trace.OptionsFor(&cfg, 0))
+			g, err := NewGPU(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.SetTracer(tr)
+			for _, k := range app.Kernels {
+				if err := g.RunKernel(k, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := tr.Close(); err != nil {
+				b.Fatal(err)
+			}
+			instr = g.Run().Instructions
+		}
+		b.ReportMetric(float64(instr*int64(b.N))/b.Elapsed().Seconds(), "instr/s")
+	})
 }

@@ -7,7 +7,15 @@
 //	subcoresim -app pb-mriq
 //	subcoresim -app tpcU-q8 -assign srr -sms 20
 //	subcoresim -app rod-srad -sched rba -cus 4
+//	subcoresim -app pb-mriq -chrome-trace out.json   # open in ui.perfetto.dev
+//	subcoresim -app pb-mriq -json > run.json         # full stats for scripting
 //	subcoresim -list
+//
+// Observability (internal/trace): -chrome-trace records SM 0's structured
+// event stream (issue, stalls, bank grants, LSU, writebacks, block
+// lifecycle) plus sampled counters and exports Chrome trace-event JSON;
+// -trace and -timeline print terminal sparklines from the same sampled
+// counter series.
 package main
 
 import (
@@ -18,8 +26,10 @@ import (
 
 	"repro"
 	"repro/internal/config"
+	"repro/internal/exp"
 	"repro/internal/plot"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -34,8 +44,12 @@ func main() {
 		banks    = flag.Int("banks", 0, "register banks per sub-core (0 = default)")
 		steal    = flag.Bool("steal", false, "enable register bank stealing")
 		rbaLat   = flag.Int("rba-latency", 0, "RBA score-update latency in cycles")
-		trace    = flag.Bool("trace", false, "trace register-file reads/cycle on SM 0 and print a sparkline")
+		trc      = flag.Bool("trace", false, "trace register-file reads/cycle on SM 0 and print a sparkline")
 		timeline = flag.Bool("timeline", false, "print per-sub-core issue timelines for SM 0 (imbalance view)")
+		chrome   = flag.String("chrome-trace", "", "write SM 0's event stream as Chrome trace-event JSON to this file")
+		jsonOut  = flag.Bool("json", false, "dump the full run statistics as JSON instead of the text report")
+		sample   = flag.Int("sample", 0, "counter sampling period in cycles (0 = per flag defaults)")
+		ringCap  = flag.Int("ring", 0, "event ring capacity for -chrome-trace (0 = default; ring keeps the last N events)")
 		cfgFile  = flag.String("config-file", "", "JSON file of configuration overrides (base: VoltaV100)")
 	)
 	flag.Parse()
@@ -99,50 +113,107 @@ func main() {
 		cfg = cfg.WithBankStealing()
 	}
 	cfg.RBAScoreLatency = *rbaLat
+
+	// The sampled counter time-series (internal/trace) drives -trace,
+	// -timeline, and the counter tracks of -chrome-trace. -trace needs
+	// per-cycle resolution; the timeline and Perfetto views default to
+	// the historical 32-cycle bucket.
+	needTracer := *trc || *timeline || *chrome != ""
+	period := *sample
+	if period <= 0 && needTracer {
+		if *trc {
+			period = 1
+		} else {
+			period = 32
+		}
+	}
+	if needTracer {
+		cfg.TraceSamplePeriod = period
+		if *ringCap > 0 {
+			cfg.TraceRingCap = *ringCap
+		}
+	}
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
 
 	var r *repro.Result
-	if *trace || *timeline {
+	var tr *trace.Tracer
+	if needTracer {
+		tr = trace.New(trace.OptionsFor(&cfg, 0))
 		g, err := repro.NewGPU(cfg)
 		if err != nil {
 			fatal(err)
 		}
-		if *trace {
-			g.TraceReads(true)
-		}
-		if *timeline {
-			g.TraceIssue(32)
-		}
+		g.SetTracer(tr)
 		for _, k := range app.Kernels {
 			if err := g.RunKernel(k, 0); err != nil {
 				fatal(err)
 			}
 		}
+		if err := tr.Close(); err != nil {
+			fatal(err)
+		}
 		r = g.Run()
 	} else {
-		var err error
 		r, err = repro.Run(cfg, app)
 		if err != nil {
 			fatal(err)
 		}
 	}
-	report(cfg.Name, app.Name, r)
-	if *trace {
-		vals := make([]float64, len(r.ReadsPerCycle))
-		for i, v := range r.ReadsPerCycle {
-			vals[i] = float64(v)
+
+	if *jsonOut {
+		if err := exp.WriteRunJSON(os.Stdout, app.Name, cfg.Name, r); err != nil {
+			fatal(err)
+		}
+	} else {
+		report(cfg.Name, app.Name, r)
+	}
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteChrome(f, tr); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		if !*jsonOut {
+			fmt.Printf("\nwrote Chrome trace to %s (open in ui.perfetto.dev)\n", *chrome)
+		}
+	}
+
+	c := tr.Counters()
+	if *trc && c != nil {
+		vals := make([]float64, c.Samples())
+		for i, v := range c.RFReads {
+			// Each granted read is warp-wide: scale to 4-byte register
+			// reads per cycle (Fig 14's unit) and normalize by the period.
+			vals[i] = float64(v) * float64(cfg.WarpSize) / float64(c.Period)
 		}
 		fmt.Println("\nSM0 register reads per cycle (Fig 14 style):")
 		fmt.Println(plot.Series(appNameShort(*appName), vals, 100))
 	}
-	if *timeline {
-		fmt.Printf("\nSM0 per-sub-core instructions issued (buckets of %d cycles):\n", r.IssueBucket)
-		for sc, series := range r.IssueTimeline {
-			vals := make([]float64, len(series))
-			for i, v := range series {
-				vals[i] = float64(v)
+	if *timeline && c != nil {
+		// Aggregate samples into display buckets of >= 32 cycles so the
+		// sparkline stays comparable across sampling periods.
+		bucket := 1
+		if c.Period < 32 {
+			bucket = (32 + c.Period - 1) / c.Period
+		}
+		fmt.Printf("\nSM0 per-sub-core instructions issued (buckets of %d cycles):\n", bucket*c.Period)
+		for sc, series := range c.IssueBySub {
+			vals := make([]float64, 0, len(series)/bucket+1)
+			for i := 0; i < len(series); i += bucket {
+				var s float64
+				for j := i; j < i+bucket && j < len(series); j++ {
+					s += float64(series[j])
+				}
+				vals = append(vals, s)
 			}
 			fmt.Println(plot.Series(fmt.Sprintf("sub-core %d", sc), vals, 100))
 		}

@@ -7,9 +7,15 @@
 //	sweep -apps pb-mriq,rod-srad -configs gto,rba,fc
 //	sweep -suite cugraph -configs gto,rba,srr,shuffle,fc -sms 4
 //	sweep -sensitive -configs gto,rba > rba_study.csv
+//	sweep -apps pb-mriq,pb-sgemm -configs gto -profile -   # simulator profile (JSON)
 //
 // Config tokens: gto (baseline), lrr, rba, srr, shuffle, rba+shuffle,
 // rba+srr, fc, fc+rba, steal, Ncu (e.g. 4cu), Nbank (e.g. 4bank).
+//
+// With -profile the sweep runs serially and emits a machine-readable
+// simulator-performance report instead of the CSV: per-app wall-clock,
+// simulated cycles/sec and instructions/sec, and heap allocations — the
+// baseline future performance work diffs against.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/exp"
 	"repro/internal/workloads"
 )
 
@@ -30,6 +37,7 @@ func main() {
 		sensitive = flag.Bool("sensitive", false, "run the Table III sensitive subset")
 		cfgsFlag  = flag.String("configs", "gto,rba", "comma-separated config tokens")
 		sms       = flag.Int("sms", 4, "number of SMs")
+		profile   = flag.String("profile", "", "write a simulator-performance JSON report to this file ('-' = stdout) instead of the CSV")
 	)
 	flag.Parse()
 
@@ -47,6 +55,26 @@ func main() {
 		}
 		cfgs = append(cfgs, c)
 		names = append(names, tok)
+	}
+
+	if *profile != "" {
+		rep, err := exp.Profile(cfgs, names, apps)
+		if err != nil {
+			fatal(err)
+		}
+		out := os.Stdout
+		if *profile != "-" {
+			f, err := os.Create(*profile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := rep.WriteJSON(out); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	fmt.Print("app,config,cycles,instructions,ipc,bank_conflicts,issue_cov\n")

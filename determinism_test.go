@@ -1,7 +1,11 @@
 package repro
 
 import (
+	"bytes"
+	"reflect"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 // TestDeterminism: identical (config, app, seed) runs must produce
@@ -28,6 +32,70 @@ func TestDeterminism(t *testing.T) {
 		if cycles[i] != cycles[0] || conflicts[i] != conflicts[0] {
 			t.Fatalf("run %d diverged: cycles %v, conflicts %v", i, cycles, conflicts)
 		}
+	}
+}
+
+// TestDeterministicTelemetry: identical runs must produce byte-identical
+// trace event streams and counter samples, not just identical summary
+// statistics. Telemetry rides the simulation loop, so any divergence here
+// means a hidden source of nondeterminism (map iteration, time, unseeded
+// randomness) leaked into the hot path.
+func TestDeterministicTelemetry(t *testing.T) {
+	app, err := AppByName("cg-pgrnk") // stochastic: shuffle + random access
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture := func() (events []trace.Event, counters *trace.Counters, chrome []byte) {
+		cfg := VoltaV100().WithSMs(2).WithAssign(AssignShuffle).WithScheduler(SchedRBA)
+		cfg.TraceSamplePeriod = 32
+		sink := trace.NewMemorySink()
+		opt := trace.OptionsFor(&cfg, 0)
+		opt.Sink = sink
+		tr := trace.New(opt)
+		g, err := NewGPU(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.SetTracer(tr)
+		for _, k := range app.Kernels {
+			if err := g.RunKernel(k, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteChrome(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		return sink.Events(0), tr.Counters(), buf.Bytes()
+	}
+
+	ev1, c1, chrome1 := capture()
+	ev2, c2, chrome2 := capture()
+
+	if len(ev1) == 0 {
+		t.Fatal("no events captured")
+	}
+	if !reflect.DeepEqual(ev1, ev2) {
+		n := len(ev1)
+		if len(ev2) < n {
+			n = len(ev2)
+		}
+		for i := 0; i < n; i++ {
+			if ev1[i] != ev2[i] {
+				t.Fatalf("event streams diverge at %d: %+v vs %+v (lens %d, %d)",
+					i, ev1[i], ev2[i], len(ev1), len(ev2))
+			}
+		}
+		t.Fatalf("event stream lengths diverge: %d vs %d", len(ev1), len(ev2))
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatal("counter samples diverge between identical runs")
+	}
+	if !bytes.Equal(chrome1, chrome2) {
+		t.Fatal("Chrome trace exports are not byte-identical")
 	}
 }
 

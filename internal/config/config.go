@@ -161,6 +161,17 @@ type GPU struct {
 	// every 16 warps, 16 ⇒ unique assignment for all 64 warps).
 	HashTableEntries int
 
+	// TraceSamplePeriod is the observability layer's counter-sampling
+	// period in cycles (register-file read rate, per-bank arbiter queue
+	// depth, per-sub-core occupancy/issue rate, LSU queue depth). 0
+	// disables counter sampling.
+	TraceSamplePeriod int
+	// TraceRingCap is the per-SM capacity of the structured-event ring
+	// buffers, in events (0 selects the trace package default). Without a
+	// sink attached the ring is a flight recorder holding the last
+	// TraceRingCap events.
+	TraceRingCap int
+
 	// Seed drives every stochastic choice (shuffle permutations, random
 	// memory patterns) so runs are reproducible.
 	Seed int64
@@ -372,6 +383,8 @@ func (g GPU) Validate() error {
 		{g.RBAScoreLatency >= 0, "RBAScoreLatency must be >= 0"},
 		{g.MaxBlocksPerSM >= 1, "MaxBlocksPerSM must be >= 1"},
 		{g.SharedMemKBPerSM >= 0, "SharedMemKBPerSM must be >= 0"},
+		{g.TraceSamplePeriod >= 0, "TraceSamplePeriod must be >= 0"},
+		{g.TraceRingCap >= 0, "TraceRingCap must be >= 0"},
 	}
 	for _, c := range checks {
 		if !c.ok {

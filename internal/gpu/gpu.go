@@ -12,6 +12,7 @@ import (
 	"repro/internal/program"
 	"repro/internal/smcore"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Kernel describes one kernel launch: a grid of identical-shape thread
@@ -81,6 +82,8 @@ type GPU struct {
 	issuePrev   []int64
 	issueAccum  []uint32
 	issueFill   int
+
+	tracer *trace.Tracer
 }
 
 // New builds a device for the configuration.
@@ -104,7 +107,27 @@ func (g *GPU) reset() {
 	if g.traceReads {
 		g.sms[0].TraceReads(true)
 	}
+	if g.tracer != nil {
+		for _, sm := range g.sms {
+			sm.SetTracer(g.tracer)
+		}
+	}
 }
+
+// SetTracer attaches an observability tracer (see internal/trace) to the
+// device, wiring each SM's emission handle through its sub-cores, operand
+// collectors, and LSU. Call before RunKernel; pass nil to detach. With no
+// tracer attached every emission site reduces to one nil-check — the
+// disabled fast path measured by BenchmarkTracingOverhead.
+func (g *GPU) SetTracer(t *trace.Tracer) {
+	g.tracer = t
+	for _, sm := range g.sms {
+		sm.SetTracer(t)
+	}
+}
+
+// Tracer returns the attached tracer, or nil.
+func (g *GPU) Tracer() *trace.Tracer { return g.tracer }
 
 // TraceReads enables the Fig. 14 per-cycle register-read trace on SM 0.
 // Call before RunKernel.
@@ -203,6 +226,10 @@ func (g *GPU) RunConcurrent(kernels []*Kernel, maxCycles int64) error {
 	smPtr, kPtr := 0, 0
 	deadline := g.cycle + maxCycles
 	for {
+		if g.tracer != nil {
+			// Publish the cycle before any stage emits events.
+			g.tracer.SetNow(g.cycle)
+		}
 		// Thread-block scheduler: place pending blocks on SMs with
 		// capacity — loose round-robin over SMs, alternating kernels.
 		for totalLeft > 0 {
@@ -239,6 +266,9 @@ func (g *GPU) RunConcurrent(kernels []*Kernel, maxCycles int64) error {
 		g.run.OccupancySamples++
 		if g.issueBucket > 0 {
 			g.sampleIssue()
+		}
+		if g.tracer != nil {
+			g.tracer.MaybeSample(g.cycle, g.sms[g.tracer.CounterSM()])
 		}
 		g.cycle++
 		g.run.Cycles = g.cycle

@@ -5,8 +5,18 @@ package plot
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
+
+// finite sanitizes one sample: NaN and ±Inf render as the baseline (0)
+// rather than producing an out-of-range glyph index or a poisoned scale.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
 
 // sparks are the eight vertical-resolution levels of a sparkline.
 var sparks = []rune("▁▂▃▄▅▆▇█")
@@ -36,6 +46,9 @@ func Sparkline(vals []float64, width int) string {
 		if idx >= len(sparks) {
 			idx = len(sparks) - 1
 		}
+		if idx < 0 {
+			idx = 0
+		}
 		sb.WriteRune(sparks[idx])
 	}
 	return sb.String()
@@ -52,7 +65,7 @@ func bucketMeans(vals []float64, n int) []float64 {
 		}
 		var s float64
 		for _, v := range vals[lo:hi] {
-			s += v
+			s += finite(v)
 		}
 		out[i] = s / float64(hi-lo)
 	}
@@ -65,9 +78,10 @@ func Histogram(vals []float64, nbins int, max float64, barWidth int) string {
 	if nbins < 1 || len(vals) == 0 {
 		return ""
 	}
-	if max <= 0 {
+	if max <= 0 || math.IsNaN(max) || math.IsInf(max, 0) {
+		max = 0
 		for _, v := range vals {
-			if v > max {
+			if v := finite(v); v > max {
 				max = v
 			}
 		}
@@ -77,7 +91,7 @@ func Histogram(vals []float64, nbins int, max float64, barWidth int) string {
 	}
 	counts := make([]int, nbins)
 	for _, v := range vals {
-		b := int(v / max * float64(nbins))
+		b := int(finite(v) / max * float64(nbins))
 		if b >= nbins {
 			b = nbins - 1
 		}
@@ -110,8 +124,9 @@ func Series(label string, vals []float64, width int) string {
 	if len(vals) == 0 {
 		return fmt.Sprintf("%-24s (empty)", label)
 	}
-	min, max, sum := vals[0], vals[0], 0.0
+	min, max, sum := finite(vals[0]), finite(vals[0]), 0.0
 	for _, v := range vals {
+		v = finite(v)
 		if v < min {
 			min = v
 		}

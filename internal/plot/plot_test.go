@@ -1,6 +1,7 @@
 package plot
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"unicode/utf8"
@@ -72,6 +73,64 @@ func TestHistogram(t *testing.T) {
 	// Auto max.
 	if Histogram([]float64{5, 10}, 2, 0, 4) == "" {
 		t.Error("auto-max failed")
+	}
+}
+
+func TestSparklineSingleValue(t *testing.T) {
+	s := Sparkline([]float64{3.5}, 10)
+	if utf8.RuneCountInString(s) != 1 {
+		t.Fatalf("single-value width = %d, want 1", utf8.RuneCountInString(s))
+	}
+}
+
+func TestSparklineNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := [][]float64{
+		{nan, nan, nan},
+		{inf, inf},
+		{math.Inf(-1), 0, 1},
+		{1, nan, 3, inf, 5},
+		{nan},
+	}
+	for _, vals := range cases {
+		s := Sparkline(vals, 8) // must not panic
+		if utf8.RuneCountInString(s) == 0 {
+			t.Errorf("Sparkline(%v) rendered empty", vals)
+		}
+		for _, r := range s {
+			if !strings.ContainsRune(string(sparks), r) {
+				t.Errorf("Sparkline(%v) produced non-spark rune %q", vals, r)
+			}
+		}
+	}
+}
+
+func TestHistogramNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	for _, vals := range [][]float64{
+		{nan, 1, 2},
+		{inf, 1, 2},
+		{nan, inf, math.Inf(-1)},
+	} {
+		out := Histogram(vals, 4, 0, 10) // auto-max path; must not panic
+		if out == "" {
+			t.Errorf("Histogram(%v) rendered empty", vals)
+		}
+	}
+	// Non-finite explicit max must fall back to auto-max, not poison bins.
+	if out := Histogram([]float64{1, 2}, 2, nan, 10); out == "" {
+		t.Error("Histogram with NaN max rendered empty")
+	}
+}
+
+func TestSeriesNonFinite(t *testing.T) {
+	s := Series("t", []float64{math.NaN(), 1, math.Inf(1)}, 10) // must not panic
+	if strings.Contains(s, "NaN") || strings.Contains(s, "Inf") {
+		t.Errorf("Series leaked non-finite stats: %q", s)
+	}
+	if s := Series("one", []float64{42}, 10); !strings.Contains(s, "min 42") ||
+		!strings.Contains(s, "max 42") {
+		t.Errorf("single-value Series = %q", s)
 	}
 }
 

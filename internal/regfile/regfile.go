@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // warpSwizzle scrambles a warp slot into a per-warp bank offset for the
@@ -125,6 +126,11 @@ type Collector struct {
 
 	cycle int64
 	st    *stats.SubCore
+
+	// tr emits bank-grant trace events when the SM is traced (nil
+	// otherwise — the disabled fast path); trSub is the owning sub-core.
+	tr    *trace.SMT
+	trSub int8
 }
 
 // NewCollector builds a collector with numCUs units over numBanks banks.
@@ -146,6 +152,13 @@ func NewCollector(numCUs, numBanks, scoreDelay int, st *stats.SubCore) *Collecto
 		c.qlenHist[i] = make([]int16, numBanks)
 	}
 	return c
+}
+
+// SetTracer attaches (or with nil detaches) the observability handle of
+// the SM owning this collector; sub identifies the sub-core in events.
+func (c *Collector) SetTracer(h *trace.SMT, sub int8) {
+	c.tr = h
+	c.trSub = sub
 }
 
 // Banks returns the bank count.
@@ -269,12 +282,16 @@ func (c *Collector) Tick(dispatch func(*CollectorUnit) bool) {
 	for b := 0; b < c.banks; b++ {
 		// Write port.
 		if len(c.writes[b]) > 0 {
-			c.grantedW = append(c.grantedW, c.writes[b][0])
+			w := c.writes[b][0]
+			c.grantedW = append(c.grantedW, w)
 			copy(c.writes[b], c.writes[b][1:])
 			c.writes[b] = c.writes[b][:len(c.writes[b])-1]
 			if c.st != nil {
 				c.st.RegWrites++
 				c.st.BankConflicts += int64(len(c.writes[b]))
+			}
+			if c.tr != nil {
+				c.tr.Emit(trace.KBankWrite, c.trSub, w.WarpIdx, int32(b), 0)
 			}
 		}
 		// Read port: oldest normal read first; stolen reads only when the
@@ -304,6 +321,9 @@ func (c *Collector) Tick(dispatch func(*CollectorUnit) bool) {
 						c.st.BankConflicts++
 					}
 				}
+			}
+			if c.tr != nil {
+				c.tr.Emit(trace.KBankRead, c.trSub, u.WarpIdx, int32(b), int32(r.cu))
 			}
 		}
 	}

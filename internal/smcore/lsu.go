@@ -4,6 +4,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/regfile"
+	"repro/internal/trace"
 )
 
 // lsuEntry is one memory instruction queued at the SM-shared LSU.
@@ -23,6 +24,7 @@ type LSU struct {
 	queue    []lsuEntry
 	capacity int
 	portFree int64 // coalescer occupancy (1 transaction per cycle)
+	tr       *trace.SMT
 
 	// sharedBase sequences synthetic shared-memory "addresses" only for
 	// conflict-degree modeling.
@@ -71,9 +73,15 @@ func (l *LSU) serve(e *lsuEntry, now int64) {
 	w := &l.sm.warps[e.warpIdx]
 	in := &e.in
 	w.MemCounter++
+	if l.tr != nil {
+		l.tr.Emit(trace.KLSUAdmit, e.subCore, e.warpIdx, int32(in.Op), 0)
+	}
 	switch in.Op.SpaceOf() {
 	case isa.SpaceGlobal:
 		n := mem.Transactions(in.Mem, l.sm.cfg.LineBytes)
+		if l.tr != nil {
+			l.tr.Emit(trace.KCoalesce, e.subCore, e.warpIdx, int32(n), 0)
+		}
 		start := now
 		if l.portFree > start {
 			start = l.portFree

@@ -11,6 +11,7 @@ import (
 	"repro/internal/program"
 	"repro/internal/regfile"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // BlockSpec describes one thread block to place on an SM: one program per
@@ -93,6 +94,10 @@ type SM struct {
 
 	traceReads  bool
 	lastRegRead int64
+
+	// tr is the observability handle for this SM; nil when the SM is not
+	// traced, which is the fast path every emission site branches on.
+	tr *trace.SMT
 }
 
 // NewSM builds SM id for a validated config, wiring it to the shared
@@ -119,6 +124,36 @@ func NewSM(id int, cfg *config.GPU, hier *mem.Hierarchy, run *stats.Run) *SM {
 // TraceReads enables the per-cycle register-read trace (Fig. 14); only
 // meaningful on SM 0 of a run.
 func (sm *SM) TraceReads(on bool) { sm.traceReads = on }
+
+// SetTracer attaches the observability layer: the SM keeps its emission
+// handle (nil when this SM is not traced) and forwards it to the LSU and
+// each sub-core's operand collector. Pass nil to detach.
+func (sm *SM) SetTracer(t *trace.Tracer) {
+	h := t.ForSM(sm.id) // nil-safe: nil tracer or untraced SM yields nil
+	sm.tr = h
+	sm.lsu.tr = h
+	for _, sc := range sm.subcores {
+		sc.tr = h
+		sc.coll.SetTracer(h, int8(sc.id))
+	}
+}
+
+// TraceCounters implements trace.CounterSource: a point-in-time snapshot
+// of the SM's occupancy, queue depths and cumulative throughput counters
+// for the sampled time-series.
+func (sm *SM) TraceCounters(s *trace.CounterSample) {
+	s.Occupancy = int32(sm.residentWarps)
+	s.LSUQueue = int32(sm.lsu.pending())
+	banks := sm.cfg.BanksPerSubCore
+	for i, sc := range sm.subcores {
+		s.IssuedBySub[i] = sc.st.Issued
+		s.OccBySub[i] = int32(sc.used)
+		s.RFReadsTotal += sc.st.RegReads
+		for b := 0; b < banks; b++ {
+			s.QLenByBank[i*banks+b] = int32(sc.coll.QueueLen(b))
+		}
+	}
+}
 
 // CanAccept reports whether the SM can place the whole block: a block
 // slot, shared memory, and — because registers and warp slots are
@@ -210,6 +245,9 @@ func (sm *SM) Allocate(b *BlockSpec) error {
 		sm.liveWarps++
 	}
 	sm.residentBlocks++
+	if sm.tr != nil {
+		sm.tr.Emit(trace.KBlockPlace, -1, -1, int32(b.KernelBlockID), int32(b.Warps()))
+	}
 	return nil
 }
 
@@ -287,6 +325,9 @@ func (sm *SM) retireBlock(blk *block) {
 	blk.active = false
 	sm.residentBlocks--
 	sm.st.BlocksCompleted++
+	if sm.tr != nil {
+		sm.tr.Emit(trace.KBlockRetire, -1, -1, int32(blk.kernelBlockID), 0)
+	}
 }
 
 // Tick advances the SM one cycle. Stages run back-to-front so results
@@ -296,6 +337,9 @@ func (sm *SM) Tick(now int64) {
 	for len(sm.wb) > 0 && sm.wb[0].cycle <= now {
 		e := heap.Pop(&sm.wb).(wbEvent)
 		sm.subcores[e.subCore].coll.EnqueueWrite(regfile.WriteReq{WarpIdx: e.warpIdx, Reg: e.reg, Bank: e.bank})
+		if sm.tr != nil {
+			sm.tr.Emit(trace.KWriteback, e.subCore, e.warpIdx, int32(e.reg), int32(e.bank))
+		}
 	}
 	// 2. The shared LSU admits memory instructions.
 	sm.lsu.tick(now)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/regfile"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // execUnit models the SIMD pipelines of one class within a sub-core. A
@@ -72,6 +73,9 @@ type SubCore struct {
 	freeRegBytes int
 
 	st *stats.SubCore
+
+	// tr is the SM's observability handle (nil = not traced, fast path).
+	tr *trace.SMT
 
 	// scratch buffers reused across cycles.
 	cands   []core.Candidate
@@ -187,7 +191,13 @@ func (sc *SubCore) dispatch(cu *regfile.CollectorUnit, now int64) bool {
 	in := &cu.Instr
 	class := in.Op.UnitOf()
 	if class == isa.ClassMEM {
-		return sc.sm.lsu.enqueue(cu.WarpIdx, sc.id, *in)
+		if !sc.sm.lsu.enqueue(cu.WarpIdx, sc.id, *in) {
+			return false
+		}
+		if sc.tr != nil {
+			sc.tr.Emit(trace.KDispatch, int8(sc.id), cu.WarpIdx, int32(in.Op), 0)
+		}
+		return true
 	}
 	u := &sc.eu[class]
 	if !u.ready(now) {
@@ -197,6 +207,9 @@ func (sc *SubCore) dispatch(cu *regfile.CollectorUnit, now int64) bool {
 	if in.Dst.Valid() {
 		w := &sc.sm.warps[cu.WarpIdx]
 		sc.sm.scheduleWriteback(now+int64(in.Op.Latency()), cu.WarpIdx, in.Dst, int8(sc.bankOf(w, in.Dst)), sc.id)
+	}
+	if sc.tr != nil {
+		sc.tr.Emit(trace.KDispatch, int8(sc.id), cu.WarpIdx, int32(in.Op), 0)
 	}
 	return true
 }
@@ -310,12 +323,18 @@ func (sc *SubCore) issueTick(now int64) {
 			sc.cands[pick] = sc.cands[len(sc.cands)-1]
 			sc.cands = sc.cands[:len(sc.cands)-1]
 			w := sc.warpAtSchedSlot(cand.Slot)
+			// Captured before tryIssue: an EXIT can retire the block and
+			// clear the slot before the event is emitted.
+			wIdx, op := sc.slots[cand.Slot], w.IBuf[0].Op
 			ok, cu, euBusy := sc.tryIssue(w, now)
 			if ok {
 				sc.sched.NotifyIssued(cand.Slot)
 				sc.st.Issued++
 				sc.sm.run.Instructions++
 				issued++
+				if sc.tr != nil {
+					sc.tr.Emit(trace.KIssue, int8(sc.id), wIdx, int32(op), int32(cand.Slot))
+				}
 				break
 			}
 			blockedCU = blockedCU || cu
@@ -326,20 +345,25 @@ func (sc *SubCore) issueTick(now int64) {
 		return
 	}
 	// Attribute the stall (Fig. 1's effect decomposition).
+	var reason stats.StallReason
 	switch {
 	case blockedCU:
-		sc.st.StallCycles[stats.StallNoCU]++
+		reason = stats.StallNoCU
 	case blockedEU:
-		sc.st.StallCycles[stats.StallEUBusy]++
+		reason = stats.StallEUBusy
 	case cen.hazard > 0:
-		sc.st.StallCycles[stats.StallScoreboard]++
+		reason = stats.StallScoreboard
 	case cen.atBarrier > 0 && cen.active == 0:
-		sc.st.StallCycles[stats.StallBarrier]++
+		reason = stats.StallBarrier
 	default:
-		sc.st.StallCycles[stats.StallNoWarp]++
+		reason = stats.StallNoWarp
 		if cen.resident > 0 && cen.finished == cen.resident {
 			sc.st.IdleAllFinished++
 		}
+	}
+	sc.st.StallCycles[reason]++
+	if sc.tr != nil {
+		sc.tr.Emit(trace.KStall, int8(sc.id), -1, int32(reason), 0)
 	}
 }
 

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"strconv"
 	"testing"
 	"testing/quick"
 )
@@ -156,8 +157,27 @@ func TestStallReasonString(t *testing.T) {
 	if StallNoCU.String() != "no-cu" || StallBarrier.String() != "barrier" {
 		t.Error("stall names wrong")
 	}
-	if StallReason(99).String() == "" {
-		t.Error("unknown stall reason must stringify")
+	// Every in-range reason must have a non-empty, distinct name — this
+	// catches a new enum value added without a matching table entry.
+	seen := make(map[string]StallReason, NumStallReasons)
+	for r := StallReason(0); r < NumStallReasons; r++ {
+		name := r.String()
+		if name == "" {
+			t.Errorf("StallReason(%d) has empty name", r)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("StallReason(%d) and StallReason(%d) share name %q", prev, r, name)
+		}
+		seen[name] = r
+	}
+	// Out-of-range values must stringify via the numeric fallback, never
+	// panic or return an in-table name.
+	for _, r := range []StallReason{NumStallReasons, 99, 255} {
+		got := r.String()
+		want := "stall(" + strconv.Itoa(int(r)) + ")"
+		if got != want {
+			t.Errorf("StallReason(%d).String() = %q, want %q", r, got, want)
+		}
 	}
 }
 

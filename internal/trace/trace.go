@@ -1,0 +1,419 @@
+// Package trace is the simulator's observability layer: a structured
+// cycle-level event stream plus sampled counter time-series, threaded
+// through the simulation hot path by internal/gpu and internal/smcore.
+//
+// Design constraints, in order:
+//
+//  1. Disabled tracing must be provably cheap. Every emission site in the
+//     simulator guards on a nil handle (`if tr != nil`), so a run without
+//     a tracer pays one predictable branch per site — measured under 2%
+//     of total runtime by BenchmarkTracingOverhead.
+//  2. Enabled tracing must not allocate per event. Events are fixed-size
+//     structs appended to per-SM ring buffers. With no Sink attached the
+//     ring is a flight recorder (the last RingCap events survive); with a
+//     Sink, full batches are handed off and the ring reused, so the full
+//     stream reaches the sink with bounded buffering.
+//  3. Telemetry must be deterministic: identical (config, app, seed) runs
+//     produce byte-identical event streams and counter samples
+//     (TestDeterministicTelemetry).
+//
+// Counter sampling records, every SamplePeriod cycles on one designated
+// SM: resident warps, LSU queue depth, register-file read throughput,
+// per-sub-core occupancy and issue rate, and per-bank arbiter queue
+// depths. This generalizes the earlier one-off SM-0 "trace"/"timeline"
+// code paths.
+//
+// WriteChrome (chrome.go) exports both streams as Chrome trace-event JSON
+// (SM -> process, sub-core -> thread) loadable in ui.perfetto.dev.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	// KIssue: a warp instruction issued. A = op, B = scheduler slot.
+	KIssue Kind = iota
+	// KStall: a sub-core scheduler issued nothing this cycle. A = the
+	// stats.StallReason attributed.
+	KStall
+	// KBankRead: a register bank granted a source-operand read.
+	// A = bank, B = collector unit.
+	KBankRead
+	// KBankWrite: a register bank granted a writeback. A = bank.
+	KBankWrite
+	// KDispatch: a collected instruction left the operand collector for
+	// its execution unit (or the LSU). A = op.
+	KDispatch
+	// KLSUAdmit: the SM-shared LSU started serving a memory instruction.
+	// A = op.
+	KLSUAdmit
+	// KCoalesce: the LSU coalescer generated a burst of line transactions
+	// for a global access. A = transaction count.
+	KCoalesce
+	// KWriteback: a completed instruction's result entered its bank's
+	// write-port queue. A = destination register, B = bank.
+	KWriteback
+	// KBlockPlace: a thread block was placed on the SM. A = kernel block
+	// id, B = warps in the block.
+	KBlockPlace
+	// KBlockRetire: a thread block retired, freeing all its resources at
+	// once. A = kernel block id.
+	KBlockRetire
+
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	"issue", "stall", "bank-read", "bank-write", "dispatch",
+	"lsu-admit", "coalesce", "writeback", "block-place", "block-retire",
+}
+
+// String names the event kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one structured trace record. Fixed-size by design: rings hold
+// events by value and emission never allocates.
+type Event struct {
+	// Cycle is the global GPU cycle the event occurred on.
+	Cycle int64
+	// Warp is the warp's index in its SM's warp table, -1 when the event
+	// has no warp (block placement, pure stalls).
+	Warp int32
+	// A, B are kind-specific arguments (see the Kind constants).
+	A, B int32
+	// SM identifies the SM.
+	SM int16
+	// Sub identifies the sub-core, -1 for SM-level events (LSU, blocks).
+	Sub int8
+	// Kind classifies the event.
+	Kind Kind
+}
+
+// Sink receives completed event batches from a tracer. Flush is called
+// with events in emission order; the slice is reused after Flush returns,
+// so implementations must copy what they keep.
+type Sink interface {
+	Flush(sm int, batch []Event) error
+}
+
+// MemorySink collects every flushed event in memory, per SM.
+type MemorySink struct {
+	bySM map[int][]Event
+}
+
+// NewMemorySink returns an empty in-memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{bySM: map[int][]Event{}} }
+
+// Flush implements Sink.
+func (m *MemorySink) Flush(sm int, batch []Event) error {
+	m.bySM[sm] = append(m.bySM[sm], batch...)
+	return nil
+}
+
+// Events returns the collected stream for one SM.
+func (m *MemorySink) Events(sm int) []Event { return m.bySM[sm] }
+
+// DefaultRingCap is the per-SM event ring capacity when Options.RingCap
+// is zero: a flight recorder deep enough for ~10k cycles of a busy SM.
+const DefaultRingCap = 1 << 16
+
+// Options configures a Tracer.
+type Options struct {
+	// SMs, SubCores, Banks describe the device topology (Banks is per
+	// sub-core). Required for counter sampling and the Chrome export's
+	// thread layout.
+	SMs, SubCores, Banks int
+	// SM selects which SM's events are recorded; -1 records every SM.
+	// Event volume is proportional, so whole-device tracing is best
+	// combined with a Sink.
+	SM int
+	// RingCap is the per-SM ring capacity in events (0 = DefaultRingCap).
+	RingCap int
+	// Sink, when non-nil, receives full batches as rings fill, so the
+	// complete stream is preserved. When nil the ring keeps only the most
+	// recent RingCap events (flight-recorder mode).
+	Sink Sink
+	// SamplePeriod enables counter sampling every that many cycles
+	// (0 disables sampling).
+	SamplePeriod int
+	// CounterSM is the SM whose counters are sampled (default 0).
+	CounterSM int
+}
+
+// OptionsFor derives tracer options from a validated configuration,
+// tracing events and counters on SM sm only (-1 = all SMs).
+func OptionsFor(cfg *config.GPU, sm int) Options {
+	counterSM := sm
+	if counterSM < 0 {
+		counterSM = 0
+	}
+	return Options{
+		SMs:          cfg.NumSMs,
+		SubCores:     cfg.SubCoresPerSM,
+		Banks:        cfg.BanksPerSubCore,
+		SM:           sm,
+		RingCap:      cfg.TraceRingCap,
+		SamplePeriod: cfg.TraceSamplePeriod,
+		CounterSM:    counterSM,
+	}
+}
+
+// ring is one SM's event buffer.
+type ring struct {
+	buf     []Event
+	n       int  // next write position
+	wrapped bool // flight-recorder mode: buffer has lapped
+}
+
+// Tracer is the central telemetry collector for one device run. Build
+// with New, attach with gpu.SetTracer, and Close before exporting when a
+// Sink is attached.
+type Tracer struct {
+	opt      Options
+	now      int64
+	rings    []*ring // indexed by SM id; nil = SM not traced
+	handles  []SMT
+	counters *Counters
+	sinkErr  error
+
+	// scratch is the reused counter-snapshot buffer.
+	scratch CounterSample
+	// previous cumulative values for delta counters.
+	lastIssued []int64
+	lastReads  int64
+}
+
+// New builds a tracer. Topology fields of opt must be positive;
+// RingCap 0 selects DefaultRingCap.
+func New(opt Options) *Tracer {
+	if opt.SMs < 1 || opt.SubCores < 1 || opt.Banks < 1 {
+		panic(fmt.Sprintf("trace: invalid topology %d SMs, %d sub-cores, %d banks",
+			opt.SMs, opt.SubCores, opt.Banks))
+	}
+	if opt.RingCap <= 0 {
+		opt.RingCap = DefaultRingCap
+	}
+	if opt.CounterSM < 0 || opt.CounterSM >= opt.SMs {
+		opt.CounterSM = 0
+	}
+	t := &Tracer{
+		opt:   opt,
+		rings: make([]*ring, opt.SMs),
+	}
+	t.handles = make([]SMT, opt.SMs)
+	for i := 0; i < opt.SMs; i++ {
+		if opt.SM >= 0 && i != opt.SM {
+			continue
+		}
+		t.rings[i] = &ring{buf: make([]Event, opt.RingCap)}
+		t.handles[i] = SMT{t: t, sm: int16(i), r: t.rings[i]}
+	}
+	if opt.SamplePeriod > 0 {
+		nb := opt.SubCores * opt.Banks
+		t.counters = &Counters{
+			Period:     opt.SamplePeriod,
+			SM:         opt.CounterSM,
+			IssueBySub: make([][]int32, opt.SubCores),
+			OccBySub:   make([][]int32, opt.SubCores),
+			QLenByBank: make([][]int32, nb),
+		}
+		t.lastIssued = make([]int64, opt.SubCores)
+		t.scratch.IssuedBySub = make([]int64, opt.SubCores)
+		t.scratch.OccBySub = make([]int32, opt.SubCores)
+		t.scratch.QLenByBank = make([]int32, nb)
+	}
+	return t
+}
+
+// Options returns the tracer's options (after defaulting).
+func (t *Tracer) Options() Options { return t.opt }
+
+// SetNow publishes the current global cycle; the device loop calls it
+// once per cycle before ticking SMs so emitted events carry the cycle
+// without threading it through every call site.
+func (t *Tracer) SetNow(cycle int64) { t.now = cycle }
+
+// ForSM returns the emission handle for one SM, or nil when that SM is
+// not traced (or t itself is nil). Simulator components keep the handle
+// and nil-check it at each emission site — the disabled fast path.
+func (t *Tracer) ForSM(sm int) *SMT {
+	if t == nil || sm < 0 || sm >= len(t.rings) || t.rings[sm] == nil {
+		return nil
+	}
+	return &t.handles[sm]
+}
+
+// SMT is one SM's emission handle.
+type SMT struct {
+	t  *Tracer
+	sm int16
+	r  *ring
+}
+
+// Emit records one event. sub is -1 for SM-level events; warp is -1 when
+// no warp is involved.
+func (h *SMT) Emit(k Kind, sub int8, warp, a, b int32) {
+	r := h.r
+	r.buf[r.n] = Event{
+		Cycle: h.t.now,
+		Warp:  warp,
+		A:     a,
+		B:     b,
+		SM:    h.sm,
+		Sub:   sub,
+		Kind:  k,
+	}
+	r.n++
+	if r.n == len(r.buf) {
+		if s := h.t.opt.Sink; s != nil {
+			if err := s.Flush(int(h.sm), r.buf); err != nil && h.t.sinkErr == nil {
+				h.t.sinkErr = err
+			}
+		} else {
+			r.wrapped = true
+		}
+		r.n = 0
+	}
+}
+
+// Close flushes partially filled rings to the sink (no-op without one)
+// and returns the first sink error, if any.
+func (t *Tracer) Close() error {
+	if t.opt.Sink != nil {
+		for i, r := range t.rings {
+			if r == nil || r.n == 0 {
+				continue
+			}
+			if err := t.opt.Sink.Flush(i, r.buf[:r.n]); err != nil && t.sinkErr == nil {
+				t.sinkErr = err
+			}
+			r.n = 0
+		}
+	}
+	return t.sinkErr
+}
+
+// Events returns SM sm's buffered events in chronological order: the
+// full stream when it fit the ring (or a Sink drained it — then only the
+// unflushed tail), or the most recent RingCap events in flight-recorder
+// mode.
+func (t *Tracer) Events(sm int) []Event {
+	if sm < 0 || sm >= len(t.rings) || t.rings[sm] == nil {
+		return nil
+	}
+	r := t.rings[sm]
+	if !r.wrapped {
+		return append([]Event(nil), r.buf[:r.n]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.n:]...)
+	out = append(out, r.buf[:r.n]...)
+	return out
+}
+
+// TracedSMs lists the SM ids with event rings.
+func (t *Tracer) TracedSMs() []int {
+	var out []int
+	for i, r := range t.rings {
+		if r != nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CounterSample is the per-sample snapshot a counter source fills in.
+// Slices are pre-sized by the tracer and reused across samples.
+type CounterSample struct {
+	// Occupancy is resident warp slots on the SM (all states).
+	Occupancy int32
+	// LSUQueue is the SM-shared LSU input-queue depth.
+	LSUQueue int32
+	// RFReadsTotal is the cumulative granted register reads over all
+	// sub-cores (the tracer differentiates it into a rate).
+	RFReadsTotal int64
+	// IssuedBySub holds cumulative issued instructions per sub-core.
+	IssuedBySub []int64
+	// OccBySub holds occupied warp slots per sub-core.
+	OccBySub []int32
+	// QLenByBank holds the arbiter read-queue depth of bank b of sub-core
+	// s at index s*Banks+b.
+	QLenByBank []int32
+}
+
+// CounterSource is implemented by the SM model: fill s with the current
+// counter values. Cumulative fields must be monotone.
+type CounterSource interface {
+	TraceCounters(s *CounterSample)
+}
+
+// Counters is the sampled time-series, columnar so samples cost one
+// append per column and export stays cache-friendly.
+type Counters struct {
+	// Period is the sampling period in cycles; SM the sampled SM.
+	Period int
+	SM     int
+	// Cycle holds each sample's cycle number.
+	Cycle []int64
+	// Occupancy: resident warps. LSUQueue: LSU input-queue depth.
+	Occupancy []int32
+	LSUQueue  []int32
+	// RFReads: register reads granted during the period (delta).
+	RFReads []int32
+	// IssueBySub[s]: instructions issued by sub-core s during the period.
+	IssueBySub [][]int32
+	// OccBySub[s]: occupied warp slots on sub-core s at the sample.
+	OccBySub [][]int32
+	// QLenByBank[s*Banks+b]: arbiter queue depth at the sample.
+	QLenByBank [][]int32
+}
+
+// Samples returns the number of samples recorded.
+func (c *Counters) Samples() int { return len(c.Cycle) }
+
+// Counters returns the sampled series (nil when sampling is disabled).
+func (t *Tracer) Counters() *Counters {
+	if t == nil {
+		return nil
+	}
+	return t.counters
+}
+
+// CounterSM returns the SM whose counters are sampled.
+func (t *Tracer) CounterSM() int { return t.opt.CounterSM }
+
+// MaybeSample records a counter sample when cycle lands on the sampling
+// period. The device loop calls it every cycle with the designated SM.
+func (t *Tracer) MaybeSample(cycle int64, src CounterSource) {
+	c := t.counters
+	if c == nil || cycle%int64(c.Period) != 0 {
+		return
+	}
+	s := &t.scratch
+	s.Occupancy, s.LSUQueue, s.RFReadsTotal = 0, 0, 0
+	src.TraceCounters(s)
+	c.Cycle = append(c.Cycle, cycle)
+	c.Occupancy = append(c.Occupancy, s.Occupancy)
+	c.LSUQueue = append(c.LSUQueue, s.LSUQueue)
+	c.RFReads = append(c.RFReads, int32(s.RFReadsTotal-t.lastReads))
+	t.lastReads = s.RFReadsTotal
+	for i := range c.IssueBySub {
+		c.IssueBySub[i] = append(c.IssueBySub[i], int32(s.IssuedBySub[i]-t.lastIssued[i]))
+		t.lastIssued[i] = s.IssuedBySub[i]
+		c.OccBySub[i] = append(c.OccBySub[i], s.OccBySub[i])
+	}
+	for i := range c.QLenByBank {
+		c.QLenByBank[i] = append(c.QLenByBank[i], s.QLenByBank[i])
+	}
+}
