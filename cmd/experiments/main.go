@@ -16,12 +16,24 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/exp"
+	"repro/internal/harness"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	format := flag.String("format", "text", "output format: text, csv, json")
+	timeout := flag.Duration("timeout", 0, "per-sweep-cell wall-clock budget (0 = unlimited)")
+	maxCycles := flag.Int64("max-cycles", 0, "per-kernel simulated-cycle cap (0 = simulator default)")
 	flag.Parse()
+
+	// Experiment sweeps execute on the fault-tolerant harness; these
+	// knobs bound each (app, config) cell of every experiment run below.
+	exp.SweepOpts.Timeout = *timeout
+	exp.SweepOpts.MaxCycles = *maxCycles
+	exp.SweepOpts.Logf = func(f string, args ...any) {
+		fmt.Fprintf(os.Stderr, f+"\n", args...)
+	}
 
 	if *list {
 		for _, id := range repro.ExperimentIDs() {
@@ -39,17 +51,29 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		ids = repro.ExperimentIDs()
 	}
+	// Each experiment runs under panic isolation (harness.Guard): a bug
+	// in one figure's driver reports a structured fault and a non-zero
+	// exit after the remaining figures have run, instead of crashing the
+	// whole batch.
+	failed := 0
 	for _, id := range ids {
 		start := time.Now()
-		tbl, err := repro.Experiment(id)
+		err := harness.Guard(id, func() error {
+			tbl, err := repro.Experiment(id)
+			if err != nil {
+				return err
+			}
+			return tbl.RenderAs(os.Stdout, *format)
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-			os.Exit(1)
-		}
-		if err := tbl.RenderAs(os.Stdout, *format); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-			os.Exit(1)
+			failed++
+			continue
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d/%d experiment(s) failed\n", failed, len(ids))
+		os.Exit(1)
 	}
 }

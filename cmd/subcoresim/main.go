@@ -19,14 +19,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"text/tabwriter"
+	"time"
 
 	"repro"
 	"repro/internal/config"
 	"repro/internal/exp"
+	"repro/internal/harness"
 	"repro/internal/plot"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -51,13 +55,19 @@ func main() {
 		sample   = flag.Int("sample", 0, "counter sampling period in cycles (0 = per flag defaults)")
 		ringCap  = flag.Int("ring", 0, "event ring capacity for -chrome-trace (0 = default; ring keeps the last N events)")
 		cfgFile  = flag.String("config-file", "", "JSON file of configuration overrides (base: VoltaV100)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited)")
+		maxCyc   = flag.Int64("max-cycles", 0, "per-kernel simulated-cycle cap (0 = simulator default)")
 	)
 	flag.Parse()
 
 	if *list {
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(w, "name\tsuite\tsensitive\tkernels\tinstructions")
-		for _, a := range repro.Workloads() {
+		apps, err := repro.Workloads()
+		if err != nil {
+			fatal(err)
+		}
+		for _, a := range apps {
 			fmt.Fprintf(w, "%s\t%s\t%v\t%d\t%d\n", a.Name, a.Suite, a.Sensitive, len(a.Kernels), a.Instructions())
 		}
 		w.Flush()
@@ -137,29 +147,34 @@ func main() {
 		fatal(err)
 	}
 
-	var r *repro.Result
+	// The run executes under the fault-tolerant harness: -timeout kills a
+	// wall-clock overrun, -max-cycles caps simulated cycles (with one
+	// retry at a raised cap), and a watchdog kills a livelocked model; a
+	// simulator panic is reported as a structured fault instead of a
+	// crash (docs/ROBUSTNESS.md).
+	ctx, cancelRun := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancelRun()
+	hopt := harness.Options{
+		Timeout:          *timeout,
+		MaxCycles:        *maxCyc,
+		WatchdogInterval: time.Second,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
 	var tr *trace.Tracer
 	if needTracer {
 		tr = trace.New(trace.OptionsFor(&cfg, 0))
-		g, err := repro.NewGPU(cfg)
-		if err != nil {
-			fatal(err)
-		}
-		g.SetTracer(tr)
-		for _, k := range app.Kernels {
-			if err := g.RunKernel(k, 0); err != nil {
-				fatal(err)
-			}
-		}
+		hopt.Tracer = tr
+	}
+	r, fault := harness.RunOne(ctx, cfg, app, hopt)
+	if needTracer {
 		if err := tr.Close(); err != nil {
 			fatal(err)
 		}
-		r = g.Run()
-	} else {
-		r, err = repro.Run(cfg, app)
-		if err != nil {
-			fatal(err)
-		}
+	}
+	if fault != nil {
+		fatal(fault)
 	}
 
 	if *jsonOut {

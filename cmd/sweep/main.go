@@ -8,9 +8,21 @@
 //	sweep -suite cugraph -configs gto,rba,srr,shuffle,fc -sms 4
 //	sweep -sensitive -configs gto,rba > rba_study.csv
 //	sweep -apps pb-mriq,pb-sgemm -configs gto -profile -   # simulator profile (JSON)
+//	sweep -sensitive -checkpoint run.ckpt -diag diag/      # fault-tolerant campaign
 //
 // Config tokens: gto (baseline), lrr, rba, srr, shuffle, rba+shuffle,
 // rba+srr, fc, fc+rba, steal, Ncu (e.g. 4cu), Nbank (e.g. 4bank).
+//
+// The matrix executes on the fault-tolerant harness (internal/harness,
+// docs/ROBUSTNESS.md): cells run in parallel under panic isolation, a
+// per-cell wall-clock -timeout, a simulated-cycle cap (-max-cycles), and
+// a forward-progress watchdog (-watchdog). A faulted cell is reported on
+// stderr — with a flight-recorder dump under -diag when set — and the
+// remaining cells keep running; the exit status is 1 if any cell
+// faulted. With -checkpoint, completed cells stream to an append-only
+// JSONL file and a re-run with the same flags resumes, re-running only
+// the missing/faulted cells. Interrupting with Ctrl-C checkpoints
+// cleanly.
 //
 // With -profile the sweep runs serially and emits a machine-readable
 // simulator-performance report instead of the CSV: per-app wall-clock,
@@ -19,14 +31,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/exp"
+	"repro/internal/harness"
 	"repro/internal/workloads"
 )
 
@@ -38,6 +54,12 @@ func main() {
 		cfgsFlag  = flag.String("configs", "gto,rba", "comma-separated config tokens")
 		sms       = flag.Int("sms", 4, "number of SMs")
 		profile   = flag.String("profile", "", "write a simulator-performance JSON report to this file ('-' = stdout) instead of the CSV")
+		timeout   = flag.Duration("timeout", 0, "per-cell wall-clock budget (0 = unlimited)")
+		maxCycles = flag.Int64("max-cycles", 0, "per-kernel simulated-cycle cap (0 = simulator default)")
+		watchdog  = flag.Duration("watchdog", time.Second, "forward-progress watchdog interval (0 = disabled)")
+		workers   = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		ckpt      = flag.String("checkpoint", "", "append completed cells to this JSONL file and resume from it")
+		diag      = flag.String("diag", "", "write flight-recorder dumps for faulted cells to this directory")
 	)
 	flag.Parse()
 
@@ -77,17 +99,46 @@ func main() {
 		return
 	}
 
+	// Ctrl-C cancels the sweep; completed cells are already in the
+	// checkpoint, so a re-run resumes where this one stopped.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	res, err := harness.Run(ctx, cfgs, names, apps, harness.Options{
+		Workers:          *workers,
+		Timeout:          *timeout,
+		MaxCycles:        *maxCycles,
+		WatchdogInterval: *watchdog,
+		CheckpointPath:   *ckpt,
+		DiagDir:          *diag,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
 	fmt.Print("app,config,cycles,instructions,ipc,bank_conflicts,issue_cov\n")
-	for _, app := range apps {
-		for ci, cfg := range cfgs {
-			r, err := repro.Run(cfg, app)
-			if err != nil {
-				fatal(err)
+	for i, app := range apps {
+		for j := range cfgs {
+			r := res.Runs[i][j]
+			if r == nil {
+				continue // faulted; reported via Logf and the summary
 			}
 			fmt.Printf("%s,%s,%d,%d,%.4f,%d,%.4f\n",
-				app.Name, names[ci], r.Cycles, r.Instructions, r.IPC(),
+				app.Name, names[j], r.Cycles, r.Instructions, r.IPC(),
 				r.TotalBankConflicts(), r.IssueCoV())
 		}
+	}
+	if !res.Complete() {
+		fmt.Fprintf(os.Stderr, "sweep: %d/%d cells faulted (%d completed", len(res.Faults),
+			len(apps)*len(cfgs), len(apps)*len(cfgs)-len(res.Faults))
+		if *ckpt != "" {
+			fmt.Fprintf(os.Stderr, "; rerun with -checkpoint %s to retry only the faulted cells", *ckpt)
+		}
+		fmt.Fprintln(os.Stderr, ")")
+		os.Exit(1)
 	}
 }
 
@@ -104,15 +155,22 @@ func selectApps(list, suite string, sensitive bool) ([]repro.App, error) {
 		}
 		return out, nil
 	case suite != "":
-		out := repro.AppsBySuite(suite)
+		out, err := repro.AppsBySuite(suite)
+		if err != nil {
+			return nil, err
+		}
 		if len(out) == 0 {
-			return nil, fmt.Errorf("unknown suite %q (have %v)", suite, workloads.Suites())
+			suites, serr := workloads.Suites()
+			if serr != nil {
+				return nil, serr
+			}
+			return nil, fmt.Errorf("unknown suite %q (have %v)", suite, suites)
 		}
 		return out, nil
 	case sensitive:
-		return repro.SensitiveWorkloads(), nil
+		return repro.SensitiveWorkloads()
 	default:
-		return repro.Workloads(), nil
+		return repro.Workloads()
 	}
 }
 

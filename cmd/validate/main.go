@@ -10,13 +10,24 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/harness"
 )
 
 func main() {
+	// Each validation experiment runs under panic isolation so a model
+	// bug in one is reported as a structured fault while the other still
+	// renders.
+	failed := 0
 	for _, id := range []string{"sec5cu", "fig3"} {
-		if err := repro.RenderExperiment(id, os.Stdout); err != nil {
+		err := harness.Guard(id, func() error {
+			return repro.RenderExperiment(id, os.Stdout)
+		})
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "validate: %s: %v\n", id, err)
-			os.Exit(1)
+			failed++
 		}
+	}
+	if failed > 0 {
+		os.Exit(1)
 	}
 }

@@ -16,8 +16,17 @@ func main() {
 	fmt.Fprintln(f, "(Section V of the paper; see `internal/workloads` for the per-suite")
 	fmt.Fprintln(f, "generator parameters and DESIGN.md §2 for the substitution rationale).")
 	fmt.Fprintln(f, "Regenerate with `go run ./docs/gen`.")
-	for _, suite := range workloads.Suites() {
-		apps := workloads.BySuite(suite)
+	suites, err := workloads.Suites()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gen:", err)
+		os.Exit(1)
+	}
+	for _, suite := range suites {
+		apps, err := workloads.BySuite(suite)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gen:", err)
+			os.Exit(1)
+		}
 		fmt.Fprintf(f, "\n## %s (%d apps)\n\n", suite, len(apps))
 		fmt.Fprintln(f, "| name | kernels | dynamic instructions | Table III sensitive | RF-sensitive |")
 		fmt.Fprintln(f, "|---|---|---|---|---|")

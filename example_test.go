@@ -47,6 +47,8 @@ func ExampleWorkloadProfile() {
 
 // Enumerating the evaluation set.
 func ExampleWorkloads() {
-	fmt.Println(len(repro.Workloads()), len(repro.Suites()))
+	apps, _ := repro.Workloads()
+	suites, _ := repro.Suites()
+	fmt.Println(len(apps), len(suites))
 	// Output: 112 8
 }

@@ -22,7 +22,10 @@ func main() {
 	if *compressed {
 		suite = "tpch-c"
 	}
-	apps := repro.AppsBySuite(suite)
+	apps, err := repro.AppsBySuite(suite)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *queries < len(apps) {
 		apps = apps[:*queries]
 	}

@@ -12,7 +12,10 @@ import (
 // is GTO. The ablation shows RBA's gain is not an artifact of a weak
 // baseline: GTO beats LRR, and RBA beats GTO.
 func AblSched() (*Table, error) {
-	apps := workloads.Sensitive()
+	apps, err := workloads.Sensitive()
+	if err != nil {
+		return nil, err
+	}
 	cfgs := []config.GPU{
 		Base(),
 		Base().WithScheduler(config.SchedLRR),
@@ -39,7 +42,15 @@ func AblSched() (*Table, error) {
 // the TPC-H suites. Paper (Section IV-B3): the full 64-warp table is
 // within 2%% of the 4-entry table, so the cheap table suffices.
 func AblTableSize() (*Table, error) {
-	apps := append(workloads.BySuite("tpch-u"), workloads.BySuite("tpch-c")...)
+	uncompressed, err := workloads.BySuite("tpch-u")
+	if err != nil {
+		return nil, err
+	}
+	compressed, err := workloads.BySuite("tpch-c")
+	if err != nil {
+		return nil, err
+	}
+	apps := append(uncompressed, compressed...)
 	small := Base().WithAssign(config.AssignShuffle)
 	big := Base().WithAssign(config.AssignShuffle)
 	big.HashTableEntries = 16
@@ -68,7 +79,10 @@ func AblTableSize() (*Table, error) {
 // swizzle de-correlates co-resident warps' bank pressure, attacking the
 // same problem as RBA from the mapping side.
 func AblSwizzle() (*Table, error) {
-	apps := workloads.RFSensitive()
+	apps, err := workloads.RFSensitive()
+	if err != nil {
+		return nil, err
+	}
 	mk := func(swizzle bool, sched config.WarpSched, tag string) config.GPU {
 		c := Base().WithScheduler(sched)
 		c.BankSwizzle = swizzle
@@ -106,7 +120,10 @@ func AblSwizzle() (*Table, error) {
 // More partitions cost more performance but save area/power — the trend
 // that motivated sub-cores in the first place (Section II-A).
 func AblPartition() (*Table, error) {
-	apps := workloads.Sensitive()
+	apps, err := workloads.Sensitive()
+	if err != nil {
+		return nil, err
+	}
 	mk := func(d int) config.GPU {
 		g := Base()
 		g.Name = fmt.Sprintf("partition-%d", d)

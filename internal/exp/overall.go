@@ -12,7 +12,10 @@ import (
 // over the 4-way partitioned Volta baseline across all 112 applications.
 // Paper: 13.2% average speedup, showing the cost of partitioning.
 func Fig1() (*Table, error) {
-	apps := workloads.All()
+	apps, err := workloads.All()
+	if err != nil {
+		return nil, err
+	}
 	cfgs := []config.GPU{Base(), FC()}
 	cyc, err := Sweep(cfgs, apps)
 	if err != nil {
@@ -35,7 +38,10 @@ func Fig1() (*Table, error) {
 // GTO + round-robin baseline on all applications. Paper: Shuffle+RBA
 // averages 10.6%, 2.6%% below the fully-connected SM's 13.2%.
 func Fig9() (*Table, error) {
-	apps := workloads.All()
+	apps, err := workloads.All()
+	if err != nil {
+		return nil, err
+	}
 	cfgs := []config.GPU{
 		Base(),
 		Base().WithScheduler(config.SchedRBA).WithAssign(config.AssignShuffle),
@@ -67,7 +73,10 @@ func Fig9() (*Table, error) {
 // doubled collector units. Paper: RBA 11.1%% average (19.3%% with SRR on
 // the sensitive set), CU doubling 4.1%%, bank stealing <1%%.
 func Fig10() (*Table, error) {
-	apps := workloads.Sensitive()
+	apps, err := workloads.Sensitive()
+	if err != nil {
+		return nil, err
+	}
 	cfgs := []config.GPU{
 		Base(),
 		Base().WithScheduler(config.SchedRBA),
@@ -103,13 +112,19 @@ func Fig10() (*Table, error) {
 // issued instructions on the uncompressed TPC-H queries. Paper: SRR cuts
 // the mean CoV from 0.80 to 0.11; q8 has the largest baseline CoV (1.01).
 func Fig17() (*Table, error) {
-	apps := workloads.BySuite("tpch-u")
+	apps, err := workloads.BySuite("tpch-u")
+	if err != nil {
+		return nil, err
+	}
 	cfgs := []config.GPU{
 		Base(),
 		Base().WithAssign(config.AssignSRR),
 		Base().WithAssign(config.AssignShuffle),
 	}
-	runs, err := SweepRuns(cfgs, apps)
+	runs, cellErrs, err := SweepRuns(cfgs, apps)
+	if err == nil {
+		err = cellErrs.Err()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +143,10 @@ func Fig17() (*Table, error) {
 
 // tpchFig runs the Fig 15/16 design sweep over one TPC-H suite.
 func tpchFig(id, suite string, paperNote string) (*Table, error) {
-	apps := workloads.BySuite(suite)
+	apps, err := workloads.BySuite(suite)
+	if err != nil {
+		return nil, err
+	}
 	cfgs := []config.GPU{
 		Base(),
 		Base().WithScheduler(config.SchedRBA),
@@ -175,8 +193,12 @@ func Fig16() (*Table, error) {
 // proposed techniques. Scaled to our 4-SM device, the equivalent points
 // are 5 and ~4.2 SMs; we sweep partitioned SM counts and interpolate.
 func Fig18() (*Table, error) {
+	rf, err := workloads.RFSensitive()
+	if err != nil {
+		return nil, err
+	}
 	var apps []workloads.App
-	for _, a := range workloads.RFSensitive() {
+	for _, a := range rf {
 		if a.Suite != "cugraph" { // compute-bound, SM-scalable subset
 			apps = append(apps, a)
 		}

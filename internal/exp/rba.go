@@ -14,7 +14,10 @@ import (
 // fully-connected SM's geomean gain rises from 6.1% to 19.6% with RBA in
 // the apps where RBA beats fully-connected.
 func Fig11() (*Table, error) {
-	apps := workloads.RFSensitive()
+	apps, err := workloads.RFSensitive()
+	if err != nil {
+		return nil, err
+	}
 	cfgs := []config.GPU{
 		Base(),
 		FC(),
@@ -52,7 +55,10 @@ func Fig11() (*Table, error) {
 // +7.1%, +9.6% for 4/8/16 CUs; RBA lands between 4 and 8 CUs outside
 // cuGraph and above fully-connected within cuGraph.
 func Fig12() (*Table, error) {
-	apps := workloads.Sensitive()
+	apps, err := workloads.Sensitive()
+	if err != nil {
+		return nil, err
+	}
 	cus := []int{1, 2, 4, 8, 16}
 	var cfgs []config.GPU
 	for _, n := range cus {
@@ -177,7 +183,10 @@ func Fig14() (*Table, error) {
 // sweeping the delay on the arbiter queue-length tap from 0 to 20 cycles.
 // Paper: <0.1% average performance loss; only ply-2Dcon exceeds 1%.
 func Sec6B4() (*Table, error) {
-	apps := workloads.RFSensitive()
+	apps, err := workloads.RFSensitive()
+	if err != nil {
+		return nil, err
+	}
 	lats := []int{0, 5, 10, 20}
 	var cfgs []config.GPU
 	cfgs = append(cfgs, Base())
@@ -214,7 +223,10 @@ func Sec6B4() (*Table, error) {
 // RBA's benefit with 2 versus 4 banks per sub-core. Paper: the average
 // RBA gain on sensitive apps drops from 19.3% to 15.4% with 4 banks.
 func Sec6B5() (*Table, error) {
-	apps := workloads.Sensitive()
+	apps, err := workloads.Sensitive()
+	if err != nil {
+		return nil, err
+	}
 	cfgs := []config.GPU{
 		Base(),
 		Base().WithScheduler(config.SchedRBA),

@@ -11,12 +11,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/config"
 	"repro/internal/gpu"
+	"repro/internal/harness"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -102,24 +102,26 @@ func RunKernelOn(cfg config.GPU, k *gpu.Kernel) (*stats.Run, error) {
 	return g.Run(), nil
 }
 
-// job is one (application, configuration) cell of a sweep.
-type job struct {
-	app int
-	cfg int
-}
+// SweepOpts is the harness configuration Sweep/SweepRuns execute under.
+// The zero value runs unsupervised (no timeout, default cycle cap);
+// binaries set it once at startup from their flags (-timeout,
+// -max-cycles) before running experiments.
+var SweepOpts harness.Options
 
 // Sweep simulates every app on every configuration in parallel and
-// returns cycles[app][cfg]. Any failure aborts with its error.
+// returns cycles[app][cfg]. The paper's figures need every cell, so any
+// faulted cell aborts with an aggregated error.
 func Sweep(cfgs []config.GPU, apps []workloads.App) ([][]int64, error) {
-	cycles := make([][]int64, len(apps))
-	for i := range cycles {
-		cycles[i] = make([]int64, len(cfgs))
+	runs, cellErrs, err := SweepRuns(cfgs, apps)
+	if err == nil {
+		err = cellErrs.Err()
 	}
-	runs, err := SweepRuns(cfgs, apps)
 	if err != nil {
 		return nil, err
 	}
+	cycles := make([][]int64, len(apps))
 	for i := range apps {
+		cycles[i] = make([]int64, len(cfgs))
 		for j := range cfgs {
 			cycles[i][j] = runs[i][j].Cycles
 		}
@@ -127,52 +129,20 @@ func Sweep(cfgs []config.GPU, apps []workloads.App) ([][]int64, error) {
 	return cycles, nil
 }
 
-// SweepRuns is Sweep keeping the full per-run statistics.
-func SweepRuns(cfgs []config.GPU, apps []workloads.App) ([][]*stats.Run, error) {
-	out := make([][]*stats.Run, len(apps))
-	for i := range out {
-		out[i] = make([]*stats.Run, len(cfgs))
+// SweepRuns is Sweep keeping the full per-run statistics. It executes
+// the matrix on the fault-tolerant harness (internal/harness): a cell
+// that panics, livelocks, or errors is reported in the returned
+// CellErrors — and left nil in the matrix — instead of crashing the
+// sweep or aborting the remaining cells. Callers must check the error
+// map (or harness.CellErrors.Err) before dereferencing cells.
+func SweepRuns(cfgs []config.GPU, apps []workloads.App) ([][]*stats.Run, harness.CellErrors, error) {
+	opt := SweepOpts
+	opt.Adapt = DeviceFor
+	res, err := harness.Run(context.Background(), cfgs, nil, apps, opt)
+	if err != nil {
+		return nil, nil, err
 	}
-	jobs := make(chan job)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(apps)*len(cfgs) {
-		workers = len(apps) * len(cfgs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				r, err := RunApp(cfgs[j.cfg], apps[j.app])
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
-				}
-				out[j.app][j.cfg] = r
-			}
-		}()
-	}
-	for a := range apps {
-		for c := range cfgs {
-			jobs <- job{app: a, cfg: c}
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
+	return res.Runs, res.Errs, nil
 }
 
 // Speedup converts (baseline, variant) cycle counts to a speedup factor.

@@ -84,6 +84,7 @@ type GPU struct {
 	issueFill   int
 
 	tracer *trace.Tracer
+	mon    *Monitor
 }
 
 // New builds a device for the configuration.
@@ -277,8 +278,15 @@ func (g *GPU) RunConcurrent(kernels []*Kernel, maxCycles int64) error {
 			break
 		}
 		if g.cycle >= deadline {
-			return fmt.Errorf("gpu: kernel batch (%s...) exceeded %d cycles (%d/%d blocks launched)",
-				kernels[0].Name, maxCycles, totalBlocks-totalLeft, totalBlocks)
+			return &CycleLimitError{
+				Kernel:         kernels[0].Name,
+				MaxCycles:      maxCycles,
+				BlocksLaunched: totalBlocks - totalLeft,
+				BlocksTotal:    totalBlocks,
+			}
+		}
+		if g.cycle&(monitorPeriod-1) == 0 && g.mon.beat(g.cycle) {
+			return &CancelError{Kernel: kernels[0].Name, Cycle: g.cycle, Reason: g.mon.Reason()}
 		}
 	}
 	g.harvestCacheStats()

@@ -1,8 +1,10 @@
 package gpu
 
 import (
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/isa"
@@ -289,6 +291,80 @@ func TestMaxCyclesGuard(t *testing.T) {
 	err = g.RunKernel(k, 100)
 	if err == nil || !strings.Contains(err.Error(), "exceeded") {
 		t.Fatalf("expected cycle-guard error, got %v", err)
+	}
+	var cle *CycleLimitError
+	if !errors.As(err, &cle) {
+		t.Fatalf("expected *CycleLimitError, got %T (%v)", err, err)
+	}
+	if cle.Kernel != "long" || cle.MaxCycles != 100 {
+		t.Errorf("CycleLimitError = %+v, want Kernel=long MaxCycles=100", cle)
+	}
+	if cle.BlocksTotal != 1 {
+		t.Errorf("BlocksTotal = %d, want 1", cle.BlocksTotal)
+	}
+}
+
+// TestMonitorCancel: a Monitor cancellation from another goroutine stops
+// the cycle loop with a reason-carrying *CancelError — the mechanism the
+// harness watchdog and wall-clock timeout kill hung cells through.
+func TestMonitorCancel(t *testing.T) {
+	p := fmaProgram(1<<20, 1)
+	k := &Kernel{Name: "hung", Blocks: 1, WarpsPerBlock: 1, RegsPerThread: 8,
+		WarpProgram: func(b, w int) *program.Program { return p }}
+	g, err := New(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := new(Monitor)
+	g.SetMonitor(mon)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Wait until the loop has demonstrably made progress, then kill it.
+		for mon.Cycle() == 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		mon.Cancel("watchdog: no forward progress")
+	}()
+	err = g.RunKernel(k, 0)
+	<-done
+
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("expected *CancelError, got %T (%v)", err, err)
+	}
+	if ce.Kernel != "hung" || ce.Reason != "watchdog: no forward progress" {
+		t.Errorf("CancelError = %+v", ce)
+	}
+	if ce.Cycle == 0 {
+		t.Error("CancelError.Cycle = 0, want the kill-point cycle")
+	}
+	if mon.Reason() != "watchdog: no forward progress" {
+		t.Errorf("Monitor.Reason() = %q", mon.Reason())
+	}
+}
+
+// TestMonitorHeartbeat: the cycle loop publishes forward progress through
+// the monitor even when the run completes normally.
+func TestMonitorHeartbeat(t *testing.T) {
+	p := fmaProgram(1<<14, 1)
+	k := &Kernel{Name: "beat", Blocks: 1, WarpsPerBlock: 1, RegsPerThread: 8,
+		WarpProgram: func(b, w int) *program.Program { return p }}
+	g, err := New(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := new(Monitor)
+	g.SetMonitor(mon)
+	if err := g.RunKernel(k, 0); err != nil {
+		t.Fatal(err)
+	}
+	if mon.Cycle() == 0 {
+		t.Error("monitor heartbeat never advanced during a long run")
+	}
+	if mon.Canceled() {
+		t.Error("monitor spuriously canceled")
 	}
 }
 

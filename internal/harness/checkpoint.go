@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// The checkpoint file is append-only JSON Lines: one self-contained
+// record per completed cell, flushed as cells finish. Appending (never
+// rewriting) means a crash can lose at most the record being written —
+// the loader tolerates a torn final line — and a resumed sweep can keep
+// appending to the same file. Only successful cells are recorded, so
+// resume re-runs exactly the faulted/killed/missing ones.
+
+// ckptRecord is one checkpoint line.
+type ckptRecord struct {
+	// V is the record format version.
+	V int `json:"v"`
+	// App and Config name the cell.
+	App    string `json:"app"`
+	Config string `json:"config"`
+	// Run is the cell's full statistics.
+	Run *stats.Run `json:"run"`
+}
+
+const ckptVersion = 1
+
+// ckptKey keys completed cells by identity.
+func ckptKey(app, config string) string { return app + "\x00" + config }
+
+// checkpointWriter streams completed cells to the checkpoint file.
+// Safe for concurrent use by sweep workers.
+type checkpointWriter struct {
+	mu  sync.Mutex
+	f   *os.File
+	enc *json.Encoder
+}
+
+// openCheckpoint opens (creating or appending) the checkpoint file.
+func openCheckpoint(path string) (*checkpointWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("harness: open checkpoint: %w", err)
+	}
+	return &checkpointWriter{f: f, enc: json.NewEncoder(f)}, nil
+}
+
+// Write appends one completed cell. Encoder output ends with a newline,
+// so each call emits exactly one JSONL record.
+func (w *checkpointWriter) Write(app, config string, run *stats.Run) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.enc.Encode(ckptRecord{V: ckptVersion, App: app, Config: config, Run: run})
+}
+
+// Close closes the underlying file.
+func (w *checkpointWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// loadCheckpoint reads a checkpoint file into completed-cell runs keyed
+// by ckptKey. A missing file is an empty checkpoint. A torn final line
+// (crash mid-append) is skipped; a malformed line elsewhere is an error,
+// since it means the file is not a checkpoint at all.
+func loadCheckpoint(path string) (map[string]*stats.Run, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return map[string]*stats.Run{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("harness: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	return readCheckpoint(f)
+}
+
+func readCheckpoint(r io.Reader) (map[string]*stats.Run, error) {
+	out := map[string]*stats.Run{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	lineNo := 0
+	var pendingErr error
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		// A parse failure is only fatal if more lines follow: the final
+		// line may be a torn append from a crash.
+		if pendingErr != nil {
+			return nil, pendingErr
+		}
+		var rec ckptRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			pendingErr = fmt.Errorf("harness: checkpoint line %d: %w", lineNo, err)
+			continue
+		}
+		if rec.V != ckptVersion {
+			return nil, fmt.Errorf("harness: checkpoint line %d: unsupported version %d", lineNo, rec.V)
+		}
+		if rec.Run == nil {
+			pendingErr = fmt.Errorf("harness: checkpoint line %d: record without run", lineNo)
+			continue
+		}
+		// Last record wins: a cell re-run after a fault overwrites the
+		// earlier entry.
+		out[ckptKey(rec.App, rec.Config)] = rec.Run
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("harness: read checkpoint: %w", err)
+	}
+	return out, nil
+}

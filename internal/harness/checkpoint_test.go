@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func ckptPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "sweep.ckpt")
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := ckptPath(t)
+	w, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write("appA", "gto", &stats.Run{Cycles: 100, Instructions: 400}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write("appB", "rba", &stats.Run{Cycles: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	done, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("loaded %d cells, want 2", len(done))
+	}
+	a := done[ckptKey("appA", "gto")]
+	if a == nil || a.Cycles != 100 || a.Instructions != 400 {
+		t.Errorf("appA/gto = %+v, want Cycles=100 Instructions=400", a)
+	}
+	if b := done[ckptKey("appB", "rba")]; b == nil || b.Cycles != 200 {
+		t.Errorf("appB/rba = %+v, want Cycles=200", b)
+	}
+}
+
+func TestCheckpointMissingFile(t *testing.T) {
+	done, err := loadCheckpoint(filepath.Join(t.TempDir(), "never-written.ckpt"))
+	if err != nil {
+		t.Fatalf("missing checkpoint must read as empty, got %v", err)
+	}
+	if len(done) != 0 {
+		t.Fatalf("missing checkpoint loaded %d cells", len(done))
+	}
+}
+
+// A crash mid-append leaves a torn final line; the loader must keep every
+// record before it.
+func TestCheckpointTornFinalLine(t *testing.T) {
+	path := ckptPath(t)
+	w, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write("appA", "gto", &stats.Run{Cycles: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"v":1,"app":"appB","config":"rba","run":{"Cyc`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	done, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("torn final line must be tolerated, got %v", err)
+	}
+	if len(done) != 1 || done[ckptKey("appA", "gto")] == nil {
+		t.Fatalf("loaded %d cells, want just appA/gto", len(done))
+	}
+}
+
+// A malformed line with records after it means the file is not an
+// append-truncated checkpoint: refuse it rather than silently re-running
+// cells.
+func TestCheckpointCorruptMiddleLine(t *testing.T) {
+	path := ckptPath(t)
+	content := "not json at all\n" +
+		`{"v":1,"app":"appA","config":"gto","run":{"Cycles":1}}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCheckpoint(path); err == nil {
+		t.Fatal("corrupt non-final line must be an error")
+	}
+}
+
+func TestCheckpointVersionMismatch(t *testing.T) {
+	path := ckptPath(t)
+	content := `{"v":99,"app":"appA","config":"gto","run":{"Cycles":1}}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := loadCheckpoint(path)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("want version error, got %v", err)
+	}
+}
+
+// A cell re-run after a fault appends a second record; resume must take
+// the newest.
+func TestCheckpointLastRecordWins(t *testing.T) {
+	path := ckptPath(t)
+	w, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write("appA", "gto", &stats.Run{Cycles: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-open, as a resumed sweep would, and overwrite the cell.
+	w, err = openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write("appA", "gto", &stats.Run{Cycles: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	done, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := done[ckptKey("appA", "gto")]; got == nil || got.Cycles != 300 {
+		t.Fatalf("resumed cell = %+v, want the newer record (Cycles=300)", got)
+	}
+}

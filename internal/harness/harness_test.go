@@ -1,0 +1,323 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/workloads"
+)
+
+// testApp builds a small deterministic FMA workload (milliseconds on the
+// one-SM test config).
+func testApp(name string, iters int) workloads.App {
+	p := workloads.Profile{
+		Name: name, Blocks: 2, WarpsPerBlock: 4, RegsPerThread: 8,
+		Iters: iters, ILP: 2, FMAs: 4,
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return workloads.App{Name: name, Suite: "test", Kernels: []*gpu.Kernel{p.Kernel()}}
+}
+
+func testCfg(name string) config.GPU {
+	g := config.VoltaV100()
+	g.NumSMs = 1
+	g.Name = name
+	return g
+}
+
+func TestRunOneSuccess(t *testing.T) {
+	run, fault := RunOne(context.Background(), testCfg("base"), testApp("ok", 200), Options{
+		Timeout:          time.Minute,
+		WatchdogInterval: time.Second,
+	})
+	if fault != nil {
+		t.Fatalf("unexpected fault: %v", fault)
+	}
+	if run == nil || run.Cycles == 0 {
+		t.Fatalf("run = %+v, want non-empty statistics", run)
+	}
+}
+
+func TestRunArgValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Run(ctx, nil, nil, []workloads.App{testApp("a", 10)}, Options{}); err == nil {
+		t.Error("empty config list must error")
+	}
+	if _, err := Run(ctx, []config.GPU{testCfg("c")}, []string{"a", "b"}, []workloads.App{testApp("a", 10)}, Options{}); err == nil {
+		t.Error("mismatched names length must error")
+	}
+}
+
+// The wall-clock timeout kills a cell that simulates too long, and the
+// fault records the kind and the budget.
+func TestTimeoutKill(t *testing.T) {
+	run, fault := RunOne(context.Background(), testCfg("base"), testApp("slow", 2_000_000), Options{
+		Timeout: 5 * time.Millisecond,
+	})
+	if run != nil || fault == nil {
+		t.Fatalf("run=%v fault=%v, want a timeout fault", run, fault)
+	}
+	if fault.Kind != FaultTimeout {
+		t.Fatalf("fault kind = %v, want timeout (%v)", fault.Kind, fault)
+	}
+	if fault.Cycle == 0 {
+		t.Error("timeout fault lost the last heartbeat cycle")
+	}
+	if !strings.Contains(fault.Error(), "wall clock") {
+		t.Errorf("fault text %q does not explain the wall-clock kill", fault.Error())
+	}
+}
+
+// The watchdog kills a cell whose heartbeat stops advancing (injected
+// hang), classifying it separately from a timeout.
+func TestWatchdogKill(t *testing.T) {
+	cfg, app := testCfg("base"), testApp("hung", 100)
+	run, fault := RunOne(context.Background(), cfg, app, Options{
+		WatchdogInterval: 20 * time.Millisecond,
+		Injector:         InjectFault(map[string]Injection{"hung/base": InjectHang}),
+	})
+	if run != nil || fault == nil {
+		t.Fatalf("run=%v fault=%v, want a watchdog fault", run, fault)
+	}
+	if fault.Kind != FaultWatchdog {
+		t.Fatalf("fault kind = %v, want watchdog (%v)", fault.Kind, fault)
+	}
+	if !strings.Contains(fault.Error(), "no forward progress") {
+		t.Errorf("fault text %q does not explain the stall", fault.Error())
+	}
+}
+
+// A canceled context stops the cell and classifies the fault as
+// cancellation, not an error of the cell's own.
+func TestContextCancelKill(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	run, fault := RunOne(ctx, testCfg("base"), testApp("canceled", 500_000), Options{})
+	if run != nil || fault == nil {
+		t.Fatalf("run=%v fault=%v, want a cancel fault", run, fault)
+	}
+	if fault.Kind != FaultCanceled {
+		t.Fatalf("fault kind = %v (%v), want canceled", fault.Kind, fault)
+	}
+}
+
+// A deadline-killed cell is retried once at a raised cap; if the raise is
+// enough, the sweep sees a clean run.
+func TestDeadlineRetrySucceeds(t *testing.T) {
+	cfg, app := testCfg("base"), testApp("capped", 200)
+	ref, fault := RunOne(context.Background(), cfg, app, Options{})
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	var logs []string
+	run, fault := RunOne(context.Background(), cfg, app, Options{
+		MaxCycles: ref.Cycles / 2, // first attempt must die on the cap
+		Logf:      func(f string, args ...any) { logs = append(logs, fmt.Sprintf(f, args...)) },
+	})
+	if fault != nil {
+		t.Fatalf("retry at %dx cap should have completed the cell: %v", DefaultRetryFactor, fault)
+	}
+	if run.Cycles != ref.Cycles {
+		t.Errorf("retried run = %d cycles, want %d (same simulation)", run.Cycles, ref.Cycles)
+	}
+	if len(logs) == 0 || !strings.Contains(strings.Join(logs, "\n"), "retrying once") {
+		t.Errorf("retry was not logged: %q", logs)
+	}
+}
+
+// With the retry disabled (RetryFactor < 0) the deadline fault surfaces
+// directly; with a too-small factor the fault is marked Retried.
+func TestDeadlineRetryBounds(t *testing.T) {
+	cfg, app := testCfg("base"), testApp("capped", 2000)
+
+	_, fault := RunOne(context.Background(), cfg, app, Options{MaxCycles: 64, RetryFactor: -1})
+	if fault == nil || fault.Kind != FaultDeadline || fault.Retried {
+		t.Fatalf("fault = %v, want un-retried deadline", fault)
+	}
+	var cle *gpu.CycleLimitError
+	if !errors.As(fault, &cle) {
+		t.Fatalf("deadline fault must unwrap to *gpu.CycleLimitError, got %v", fault)
+	}
+
+	_, fault = RunOne(context.Background(), cfg, app, Options{MaxCycles: 64, RetryFactor: 2})
+	if fault == nil || fault.Kind != FaultDeadline || !fault.Retried {
+		t.Fatalf("fault = %v, want deadline marked Retried", fault)
+	}
+}
+
+func TestGuard(t *testing.T) {
+	if err := Guard("ok", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("boom")
+	if err := Guard("err", func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("Guard rewrote an ordinary error: %v", err)
+	}
+	err := Guard("panics", func() error { panic("invariant violated") })
+	var f *SimFault
+	if !errors.As(err, &f) {
+		t.Fatalf("want *SimFault, got %T (%v)", err, err)
+	}
+	if f.Kind != FaultPanic || f.App != "panics" || len(f.Stack) == 0 {
+		t.Errorf("fault = %+v, want a named panic fault with a stack", f)
+	}
+}
+
+func TestCellErrorsErr(t *testing.T) {
+	if err := (CellErrors{}).Err(); err != nil {
+		t.Fatalf("empty CellErrors must aggregate to nil, got %v", err)
+	}
+	e := CellErrors{}
+	for i := 0; i < 5; i++ {
+		e[Cell{App: i, Cfg: 0}] = fmt.Errorf("fault %d", i)
+	}
+	msg := e.Err().Error()
+	if !strings.Contains(msg, "5 sweep cell(s)") || !strings.Contains(msg, "and 2 more") {
+		t.Errorf("aggregate message %q missing count or truncation note", msg)
+	}
+	if !strings.Contains(msg, "fault 0") {
+		t.Errorf("aggregate message %q lost the first fault", msg)
+	}
+}
+
+// TestChaosSweep is the end-to-end proof of all four pillars: a sweep
+// with one injected panic, one injected hang, and one injected error
+// completes, reports exactly those three cells as structured faults with
+// the right classifications and diagnostics, and a re-run against the
+// same checkpoint re-executes only the three faulted cells.
+func TestChaosSweep(t *testing.T) {
+	cfgs := []config.GPU{testCfg("cfgA"), testCfg("cfgB")}
+	apps := []workloads.App{testApp("app0", 300), testApp("app1", 300), testApp("app2", 300)}
+	dir := t.TempDir()
+	opt := Options{
+		Workers:          4,
+		WatchdogInterval: 50 * time.Millisecond,
+		CheckpointPath:   filepath.Join(dir, "chaos.ckpt"),
+		DiagDir:          filepath.Join(dir, "diag"),
+		Injector: InjectFault(map[string]Injection{
+			"app0/cfgA": InjectPanic,
+			"app1/cfgB": InjectHang,
+			"app2/cfgA": InjectError,
+		}),
+		Logf: t.Logf,
+	}
+
+	res, err := Run(context.Background(), cfgs, nil, apps, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 6 || res.Resumed != 0 {
+		t.Fatalf("executed %d, resumed %d; want 6, 0", res.Executed, res.Resumed)
+	}
+	if len(res.Faults) != 3 || res.Complete() {
+		t.Fatalf("got %d faults (complete=%v), want exactly the 3 injected", len(res.Faults), res.Complete())
+	}
+	want := map[string]FaultKind{
+		"app0/cfgA": FaultPanic,
+		"app1/cfgB": FaultWatchdog,
+		"app2/cfgA": FaultError,
+	}
+	for _, f := range res.Faults {
+		key := f.App + "/" + f.Config
+		kind, ok := want[key]
+		if !ok {
+			t.Errorf("unexpected faulted cell %s: %v", key, f)
+			continue
+		}
+		delete(want, key)
+		if f.Kind != kind {
+			t.Errorf("%s fault kind = %v, want %v", key, f.Kind, kind)
+		}
+	}
+	for key := range want {
+		t.Errorf("injected fault in %s was not reported", key)
+	}
+	// Faulted cells are nil in the matrix and recorded in Errs; healthy
+	// cells have runs.
+	for i, app := range apps {
+		for j, cfg := range cfgs {
+			_, inErrs := res.Errs[Cell{App: i, Cfg: j}]
+			if (res.Runs[i][j] == nil) != inErrs {
+				t.Errorf("cell %s/%s: run nil=%v but errs recorded=%v",
+					app.Name, cfg.Name, res.Runs[i][j] == nil, inErrs)
+			}
+		}
+	}
+	// The panic and watchdog cells wrote flight-recorder diagnostics.
+	for _, f := range res.Faults {
+		if f.Kind == FaultError {
+			continue // injected before the cell starts; nothing to record
+		}
+		if f.DumpPath == "" {
+			t.Errorf("%s on %s: no diagnostics dump", f.App, f.Config)
+			continue
+		}
+		if _, err := os.Stat(f.DumpPath); err != nil {
+			t.Errorf("dump %s: %v", f.DumpPath, err)
+		}
+	}
+
+	// Resume: the same injector instance has already fired, so the three
+	// faulted cells now run clean — and only they run.
+	res2, err := Run(context.Background(), cfgs, nil, apps, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Resumed != 3 || res2.Executed != 3 {
+		t.Fatalf("resume: resumed %d, executed %d; want 3, 3", res2.Resumed, res2.Executed)
+	}
+	if !res2.Complete() {
+		t.Fatalf("resume left faults: %v", res2.Errs.Err())
+	}
+
+	// A third run restores everything from the checkpoint and simulates
+	// nothing.
+	res3, err := Run(context.Background(), cfgs, nil, apps, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Resumed != 6 || res3.Executed != 0 || !res3.Complete() {
+		t.Fatalf("full resume: resumed %d, executed %d, complete %v; want 6, 0, true",
+			res3.Resumed, res3.Executed, res3.Complete())
+	}
+}
+
+// The two benchmarks quantify the harness tax on an un-faulted cell
+// (supervisor goroutine + monitor heartbeat). The acceptance bar is <2%
+// over the direct loop.
+func BenchmarkCellDirect(b *testing.B) {
+	cfg, app := testCfg("bench"), testApp("bench", 2000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := gpu.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := g.RunKernels(app.Kernels, 0); err != nil {
+			b.Fatal(err)
+		}
+		g.Run()
+	}
+}
+
+func BenchmarkCellHarness(b *testing.B) {
+	cfg, app := testCfg("bench"), testApp("bench", 2000)
+	opt := Options{Timeout: time.Minute, WatchdogInterval: time.Second}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if run, fault := RunOne(ctx, cfg, app, opt); fault != nil || run == nil {
+			b.Fatal(fault)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"errors"
+	"sync"
+)
+
+// Injection selects a fault to inject into a sweep cell — the chaos-test
+// hook proving the harness contains each failure mode.
+type Injection uint8
+
+const (
+	// InjectNone runs the cell normally.
+	InjectNone Injection = iota
+	// InjectPanic panics inside the cell, exercising panic isolation.
+	InjectPanic
+	// InjectHang blocks the cell without forward progress until a
+	// supervisor kills it, exercising the watchdog.
+	InjectHang
+	// InjectError returns ErrInjected from the cell.
+	InjectError
+)
+
+// ErrInjected is the error an InjectError cell fails with.
+var ErrInjected = errors.New("harness: injected fault")
+
+// InjectorFunc decides, per (application, configuration) cell, whether
+// to inject a fault. Test-only: production sweeps leave Options.Injector
+// nil, which compiles the hook down to one nil check per cell.
+type InjectorFunc func(app, config string) Injection
+
+// InjectFault builds a concurrency-safe InjectorFunc that fires once per
+// listed cell. Keys are "app/config" strings; repeated runs of the same
+// cell (e.g. after a checkpoint resume) run clean, which is what the
+// chaos test's resume pass relies on.
+func InjectFault(cells map[string]Injection) InjectorFunc {
+	var mu sync.Mutex
+	armed := make(map[string]Injection, len(cells))
+	for k, v := range cells {
+		armed[k] = v
+	}
+	return func(app, config string) Injection {
+		mu.Lock()
+		defer mu.Unlock()
+		key := app + "/" + config
+		inj, ok := armed[key]
+		if !ok {
+			return InjectNone
+		}
+		delete(armed, key)
+		return inj
+	}
+}

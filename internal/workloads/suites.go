@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/gpu"
@@ -12,7 +13,8 @@ import (
 // register-intensive instructions that access a limited set of registers
 // repeatedly — so RBA's scheduling beats even the fully-connected SM's
 // extra banks — plus irregular, random-access neighbor reads.
-func CuGraph() []App {
+func CuGraph() ([]App, error) {
+	b := new(suiteBuilder)
 	type g struct {
 		name  string
 		iters int
@@ -47,24 +49,25 @@ func CuGraph() []App {
 		apps = append(apps, App{
 			Name: gr.name, Suite: "cugraph",
 			Sensitive: true, RFSensitive: true,
-			Kernels: kernelsOf(&p),
+			Kernels: b.kernelsOf(&p),
 		})
 	}
-	return apps
+	return apps, b.Err()
 }
 
 // Rodinia builds fifteen heterogeneous-computing kernels with the suite's
 // broad mix of communication patterns. Table III's sensitive entries are
 // lavaMD, bp, srad and htsp.
-func Rodinia() []App {
+func Rodinia() ([]App, error) {
+	b := new(suiteBuilder)
 	mk := func(name string, sensitive, rf bool, p Profile) App {
 		p.Name = name
-		return App{Name: name, Suite: "rodinia", Sensitive: sensitive, RFSensitive: rf, Kernels: kernelsOf(&p)}
+		return App{Name: name, Suite: "rodinia", Sensitive: sensitive, RFSensitive: rf, Kernels: b.kernelsOf(&p)}
 	}
 	stream := func(kb uint32) isa.MemTrait {
 		return isa.MemTrait{Pattern: isa.PatCoalesced, Footprint: kb << 10, Shared: true}
 	}
-	return []App{
+	apps := []App{
 		// Particle potential: dense FMA + SFU inner loop over neighbor
 		// particles staged in shared memory.
 		mk("rod-lavaMD", true, true, Profile{
@@ -139,19 +142,21 @@ func Rodinia() []App {
 			FMAs: 4, SFUs: 2,
 		}),
 	}
+	return apps, b.Err()
 }
 
 // Parboil builds ten throughput-computing kernels. The Table III entries
 // (mriq, mrig, sad, sgemm, cutcp) saturate the read-operand stage.
-func Parboil() []App {
+func Parboil() ([]App, error) {
+	b := new(suiteBuilder)
 	mk := func(name string, sensitive, rf bool, p Profile) App {
 		p.Name = name
-		return App{Name: name, Suite: "parboil", Sensitive: sensitive, RFSensitive: rf, Kernels: kernelsOf(&p)}
+		return App{Name: name, Suite: "parboil", Sensitive: sensitive, RFSensitive: rf, Kernels: b.kernelsOf(&p)}
 	}
 	stream := func(kb uint32) isa.MemTrait {
 		return isa.MemTrait{Pattern: isa.PatCoalesced, Footprint: kb << 10, Shared: true}
 	}
-	return []App{
+	apps := []App{
 		// MRI-Q: per-sample trig-heavy FMA bursts — the paper's flagship
 		// read-operand-limited app (Fig. 14a-c).
 		mk("pb-mriq", true, true, Profile{
@@ -204,14 +209,16 @@ func Parboil() []App {
 			SharedMemPerBlock: 4 << 10,
 		}),
 	}
+	return apps, b.Err()
 }
 
 // Polybench builds eighteen static-control-flow kernels. The Table III
 // entries are the 2D and 3D convolutions, which are read-operand-limited.
-func Polybench() []App {
+func Polybench() ([]App, error) {
+	b := new(suiteBuilder)
 	mk := func(name string, sensitive, rf bool, p Profile) App {
 		p.Name = name
-		return App{Name: name, Suite: "polybench", Sensitive: sensitive, RFSensitive: rf, Kernels: kernelsOf(&p)}
+		return App{Name: name, Suite: "polybench", Sensitive: sensitive, RFSensitive: rf, Kernels: b.kernelsOf(&p)}
 	}
 	stream := func(kb uint32) isa.MemTrait {
 		return isa.MemTrait{Pattern: isa.PatCoalesced, Footprint: kb << 10, Shared: true}
@@ -234,7 +241,7 @@ func Polybench() []App {
 			FMAs: fmas, Loads: loads, LoadTrait: stream(kb),
 		})
 	}
-	return []App{
+	apps := []App{
 		conv("ply-2Dcon", 32, 40, 5),
 		conv("ply-3Dcon", 28, 36, 6),
 		la("ply-atax", 26, 2, 2, 512),
@@ -254,15 +261,17 @@ func Polybench() []App {
 		la("ply-jac1d", 22, 2, 2, 384),
 		la("ply-jac2d", 24, 3, 2, 640),
 	}
+	return apps, b.Err()
 }
 
 // DeepBench builds twelve CNN/RNN training and inference kernels. They
 // lean on the tensor pipes, with the train variants carrying larger
 // working sets (Table III: db-conv-tr/inf, db-rnn-tr/inf).
-func DeepBench() []App {
+func DeepBench() ([]App, error) {
+	b := new(suiteBuilder)
 	mk := func(name string, sensitive bool, p Profile) App {
 		p.Name = name
-		return App{Name: name, Suite: "deepbench", Sensitive: sensitive, Kernels: kernelsOf(&p)}
+		return App{Name: name, Suite: "deepbench", Sensitive: sensitive, Kernels: b.kernelsOf(&p)}
 	}
 	stream := func(kb uint32) isa.MemTrait {
 		return isa.MemTrait{Pattern: isa.PatCoalesced, Footprint: kb << 10, Shared: true}
@@ -308,12 +317,13 @@ func DeepBench() []App {
 			}),
 		)
 	}
-	return apps
+	return apps, b.Err()
 }
 
 // Cutlass builds six tiled matrix-multiply problem sizes. The 4096 case
 // is Table III's sensitive entry.
-func Cutlass() []App {
+func Cutlass() ([]App, error) {
+	b := new(suiteBuilder)
 	sizes := []int{256, 512, 1024, 2048, 4096, 8192}
 	apps := make([]App, 0, len(sizes))
 	for _, n := range sizes {
@@ -339,16 +349,28 @@ func Cutlass() []App {
 			Name: p.Name, Suite: "cutlass",
 			Sensitive:   n == 4096,
 			RFSensitive: n >= 4096,
-			Kernels:     kernelsOf(&p),
+			Kernels:     b.kernelsOf(&p),
 		})
 	}
-	return apps
+	return apps, b.Err()
 }
 
-// kernelsOf validates and materializes a single-kernel app.
-func kernelsOf(p *Profile) []*gpu.Kernel {
+// suiteBuilder collects profile-validation failures during suite
+// construction so a bad profile surfaces as a returned error from the
+// suite constructor instead of panicking mid-build.
+type suiteBuilder struct {
+	errs []error
+}
+
+// kernelsOf validates and materializes a single-kernel app, recording
+// (and returning nil kernels for) invalid profiles.
+func (b *suiteBuilder) kernelsOf(p *Profile) []*gpu.Kernel {
 	if err := p.Validate(); err != nil {
-		panic(err)
+		b.errs = append(b.errs, fmt.Errorf("workloads: profile %q: %w", p.Name, err))
+		return nil
 	}
 	return []*gpu.Kernel{p.Kernel()}
 }
+
+// Err reports the collected validation failures, if any.
+func (b *suiteBuilder) Err() error { return errors.Join(b.errs...) }

@@ -3,6 +3,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/gpu"
 )
@@ -33,54 +34,82 @@ func (a *App) Instructions() int64 {
 	return t
 }
 
-// All returns the full 112-application evaluation set, sorted by suite
-// then name. The composition matches Section V: TPC-H compressed and
-// uncompressed (22 queries each), cuGraph (7), Rodinia (15), Parboil
-// (10), Polybench (18), DeepBench (12), and Cutlass (6).
-func All() []App {
+// The full application set is immutable after construction, so it is
+// built once and memoized; a profile-validation failure in any suite
+// constructor is memoized too and surfaced by every accessor.
+var (
+	allOnce sync.Once
+	allApps []App
+	allErr  error
+)
+
+func buildAll() ([]App, error) {
 	var apps []App
 	apps = append(apps, TPCH(false)...)
 	apps = append(apps, TPCH(true)...)
-	apps = append(apps, CuGraph()...)
-	apps = append(apps, Rodinia()...)
-	apps = append(apps, Parboil()...)
-	apps = append(apps, Polybench()...)
-	apps = append(apps, DeepBench()...)
-	apps = append(apps, Cutlass()...)
+	for _, build := range []func() ([]App, error){
+		CuGraph, Rodinia, Parboil, Polybench, DeepBench, Cutlass,
+	} {
+		suite, err := build()
+		if err != nil {
+			return nil, err
+		}
+		apps = append(apps, suite...)
+	}
 	sort.Slice(apps, func(i, j int) bool {
 		if apps[i].Suite != apps[j].Suite {
 			return apps[i].Suite < apps[j].Suite
 		}
 		return apps[i].Name < apps[j].Name
 	})
-	return apps
+	return apps, nil
+}
+
+// All returns the full 112-application evaluation set, sorted by suite
+// then name. The composition matches Section V: TPC-H compressed and
+// uncompressed (22 queries each), cuGraph (7), Rodinia (15), Parboil
+// (10), Polybench (18), DeepBench (12), and Cutlass (6). A suite whose
+// profiles fail validation surfaces here as an error.
+func All() ([]App, error) {
+	allOnce.Do(func() { allApps, allErr = buildAll() })
+	if allErr != nil {
+		return nil, allErr
+	}
+	// Fresh slice header: callers may sort or truncate their copy.
+	return append([]App(nil), allApps...), nil
 }
 
 // Sensitive returns the Fig. 10 subset of All.
-func Sensitive() []App {
-	var out []App
-	for _, a := range All() {
-		if a.Sensitive {
-			out = append(out, a)
-		}
-	}
-	return out
+func Sensitive() ([]App, error) {
+	return filtered(func(a *App) bool { return a.Sensitive })
 }
 
 // RFSensitive returns the register-file-limited subset (Figs. 11/12/14).
-func RFSensitive() []App {
+func RFSensitive() ([]App, error) {
+	return filtered(func(a *App) bool { return a.RFSensitive })
+}
+
+func filtered(keep func(*App) bool) ([]App, error) {
+	all, err := All()
+	if err != nil {
+		return nil, err
+	}
 	var out []App
-	for _, a := range All() {
-		if a.RFSensitive {
+	for _, a := range all {
+		if keep(&a) {
 			out = append(out, a)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // ByName finds an application in All.
 func ByName(name string) (App, error) {
-	for _, a := range All() {
+	all, err := All()
+	if err != nil {
+		return App{}, err
+	}
+	for _, a := range all {
 		if a.Name == name {
 			return a, nil
 		}
@@ -89,26 +118,24 @@ func ByName(name string) (App, error) {
 }
 
 // Suites lists the suite identifiers in All.
-func Suites() []string {
+func Suites() ([]string, error) {
+	all, err := All()
+	if err != nil {
+		return nil, err
+	}
 	seen := map[string]bool{}
 	var out []string
-	for _, a := range All() {
+	for _, a := range all {
 		if !seen[a.Suite] {
 			seen[a.Suite] = true
 			out = append(out, a.Suite)
 		}
 	}
 	sort.Strings(out)
-	return out
+	return out, nil
 }
 
 // BySuite returns the apps of one suite.
-func BySuite(suite string) []App {
-	var out []App
-	for _, a := range All() {
-		if a.Suite == suite {
-			out = append(out, a)
-		}
-	}
-	return out
+func BySuite(suite string) ([]App, error) {
+	return filtered(func(a *App) bool { return a.Suite == suite })
 }

@@ -13,7 +13,10 @@ import (
 // TestCensus pins the evaluation set composition to Section V: 112
 // applications across 8 suites.
 func TestCensus(t *testing.T) {
-	apps := All()
+	apps, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(apps) != 112 {
 		t.Fatalf("total applications = %d, want 112", len(apps))
 	}
@@ -33,14 +36,22 @@ func TestCensus(t *testing.T) {
 	if len(got) != 8 {
 		t.Errorf("suites = %d, want 8", len(got))
 	}
-	if len(Suites()) != 8 {
-		t.Errorf("Suites() = %v, want 8 entries", Suites())
+	suites, err := Suites()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suites) != 8 {
+		t.Errorf("Suites() = %v, want 8 entries", suites)
 	}
 }
 
 func TestNamesUniqueAndWellFormed(t *testing.T) {
 	seen := map[string]bool{}
-	for _, a := range All() {
+	apps, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range apps {
 		if seen[a.Name] {
 			t.Errorf("duplicate app name %q", a.Name)
 		}
@@ -83,11 +94,17 @@ func TestTableIIIRoster(t *testing.T) {
 }
 
 func TestSubsetsNonEmptyAndConsistent(t *testing.T) {
-	sens := Sensitive()
+	sens, err := Sensitive()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(sens) < 20 {
 		t.Errorf("sensitive subset = %d apps, want >= 20", len(sens))
 	}
-	rf := RFSensitive()
+	rf, err := RFSensitive()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rf) < 10 {
 		t.Errorf("RF-sensitive subset = %d apps, want >= 10", len(rf))
 	}
@@ -99,8 +116,8 @@ func TestSubsetsNonEmptyAndConsistent(t *testing.T) {
 	if _, err := ByName("no-such-app"); err == nil {
 		t.Error("ByName must fail for unknown apps")
 	}
-	if got := BySuite("cugraph"); len(got) != 7 {
-		t.Errorf("BySuite(cugraph) = %d, want 7", len(got))
+	if got, err := BySuite("cugraph"); err != nil || len(got) != 7 {
+		t.Errorf("BySuite(cugraph) = %d (err %v), want 7", len(got), err)
 	}
 }
 
@@ -108,7 +125,11 @@ func TestSubsetsNonEmptyAndConsistent(t *testing.T) {
 // against the baseline configuration.
 func TestAllKernelsValidate(t *testing.T) {
 	cfg := config.VoltaV100()
-	for _, a := range All() {
+	apps, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range apps {
 		for _, k := range a.Kernels {
 			if err := k.Validate(&cfg); err != nil {
 				t.Errorf("%s: %v", a.Name, err)
@@ -121,7 +142,11 @@ func TestAllKernelsValidate(t *testing.T) {
 // instruction count must be large enough to exercise the pipeline but
 // small enough for full-suite sweeps.
 func TestAppSizesBounded(t *testing.T) {
-	for _, a := range All() {
+	apps, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range apps {
 		n := a.Instructions()
 		if n < 5_000 {
 			t.Errorf("%s: only %d instructions, too small", a.Name, n)
@@ -282,7 +307,10 @@ var sinkProg *program.Program
 
 func BenchmarkBuildAll(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		apps := All()
+		apps, err := All()
+		if err != nil {
+			b.Fatal(err)
+		}
 		sinkProg = apps[0].Kernels[0].WarpProgram(0, 0)
 	}
 }

@@ -45,17 +45,30 @@ func TestFacadeRBADeliversOnSensitiveApp(t *testing.T) {
 }
 
 func TestFacadeWorkloadCatalog(t *testing.T) {
-	if n := len(Workloads()); n != 112 {
+	apps, err := Workloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(apps); n != 112 {
 		t.Errorf("Workloads = %d, want 112", n)
 	}
-	if n := len(Suites()); n != 8 {
+	suites, err := Suites()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(suites); n != 8 {
 		t.Errorf("Suites = %d, want 8", n)
 	}
-	if len(SensitiveWorkloads()) == 0 {
+	sens, err := SensitiveWorkloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sens) == 0 {
 		t.Error("no sensitive workloads")
 	}
-	if len(AppsBySuite("cugraph")) != 7 {
-		t.Error("cugraph roster wrong")
+	cg, err := AppsBySuite("cugraph")
+	if err != nil || len(cg) != 7 {
+		t.Errorf("cugraph roster wrong (%d apps, err %v)", len(cg), err)
 	}
 	if _, err := AppByName("nope"); err == nil {
 		t.Error("unknown app accepted")
