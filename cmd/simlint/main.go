@@ -1,0 +1,105 @@
+// Command simlint runs the repository's custom static-analysis suite
+// (internal/analysis) over the module and exits non-zero on findings.
+// It is a tier-1 CI gate: the determinism, hot-path, trace-guard,
+// fault-flow, and monitor-poll invariants it enforces are the source-
+// level half of the guarantees determinism_test.go and the harness
+// chaos tests check dynamically. See docs/STATIC_ANALYSIS.md.
+//
+// Usage:
+//
+//	go run ./cmd/simlint ./...                 # whole module
+//	go run ./cmd/simlint ./internal/smcore     # one package
+//	go run ./cmd/simlint -analyzers hotpath ./...
+//	go run ./cmd/simlint internal/analysis/testdata/src/hotpath
+//
+// A directory argument under a testdata tree (which the go tool
+// ignores) is loaded as a standalone fixture package — the same path
+// the golden tests use — so each analyzer's fixtures can be linted
+// directly and demonstrably fail.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: simlint [flags] [packages or fixture dirs]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers := analysis.All
+	if *only != "" {
+		var err error
+		analyzers, err = analysis.ByName(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var patterns []string
+	var pkgs []*analysis.Package
+	for _, a := range args {
+		if isFixtureDir(a) {
+			pkg, err := analysis.LoadFixture(a)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			pkgs = append(pkgs, pkg)
+			continue
+		}
+		patterns = append(patterns, a)
+	}
+	if len(patterns) > 0 || len(pkgs) == 0 {
+		loaded, err := analysis.Load(patterns...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// isFixtureDir reports whether arg names a directory of Go files inside
+// a testdata tree — invisible to `go list` and loaded as a fixture.
+func isFixtureDir(arg string) bool {
+	if !strings.Contains(filepath.ToSlash(arg), "testdata/") {
+		return false
+	}
+	fi, err := os.Stat(arg)
+	return err == nil && fi.IsDir()
+}

@@ -2,9 +2,13 @@ package repro
 
 import (
 	"bytes"
+	"context"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
+	"repro/internal/harness"
 	"repro/internal/trace"
 )
 
@@ -96,6 +100,45 @@ func TestDeterministicTelemetry(t *testing.T) {
 	}
 	if !bytes.Equal(chrome1, chrome2) {
 		t.Fatal("Chrome trace exports are not byte-identical")
+	}
+}
+
+// TestDeterministicCheckpoint: the determinism contract must survive the
+// fault-tolerance layer. Two harness-supervised runs of the same sweep
+// cell — worker pool, watchdog plumbing, checkpoint writer and all —
+// must stream byte-identical JSONL checkpoint records, or a resumed
+// sweep would mix statistics from two distinguishable populations.
+func TestDeterministicCheckpoint(t *testing.T) {
+	app, err := AppByName("cg-pgrnk") // stochastic: shuffle + random access
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := VoltaV100().WithSMs(2).WithAssign(AssignShuffle).WithScheduler(SchedRBA)
+	runOnce := func(path string) []byte {
+		t.Helper()
+		res, err := harness.Run(context.Background(),
+			[]Config{cfg}, []string{"v100-2sm-shuffle-rba"}, []App{app},
+			harness.Options{Workers: 1, CheckpointPath: path})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete() || res.Executed != 1 {
+			t.Fatalf("sweep incomplete: executed %d, faults %v", res.Executed, res.Faults)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	dir := t.TempDir()
+	ck1 := runOnce(filepath.Join(dir, "a.jsonl"))
+	ck2 := runOnce(filepath.Join(dir, "b.jsonl"))
+	if len(ck1) == 0 {
+		t.Fatal("checkpoint is empty")
+	}
+	if !bytes.Equal(ck1, ck2) {
+		t.Fatalf("checkpoint records diverge between identical supervised runs:\n%s\nvs\n%s", ck1, ck2)
 	}
 }
 

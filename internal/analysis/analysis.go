@@ -1,0 +1,243 @@
+// Package analysis is simlint's self-contained static-analysis
+// framework: a small go/ast + go/types pass runner in the style of
+// golang.org/x/tools/go/analysis, implemented on the standard library
+// only so the linter builds offline with zero dependencies.
+//
+// The suite enforces the invariants the reproduction's headline numbers
+// rest on — bit-deterministic sweeps, an allocation-free cycle loop,
+// nil-guarded trace emission, structured fault propagation, and
+// hang-supervision polling — at the source level, where review and
+// dynamic tests alone cannot keep up with the tree. Each analyzer's
+// rationale is documented in docs/STATIC_ANALYSIS.md.
+//
+// Two comment directives tune the suite:
+//
+//	//simlint:hotpath
+//	    on a function's doc comment marks it per-cycle, opting it into
+//	    the hotpath analyzer even when its name does not match the
+//	    hot-name pattern.
+//
+//	//simlint:allow <analyzer>[,<analyzer>...] -- <reason>
+//	    suppresses findings. On its own line (or trailing the offending
+//	    line) it covers that line and the next; inside a function's doc
+//	    comment it covers the whole function. The "-- reason" tail is
+//	    required by convention so every suppression is justified in
+//	    place.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named pass over a type-checked package.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in reports and in
+	// //simlint:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run reports findings on the pass's package via Pass.Reportf.
+	Run func(*Pass) error
+}
+
+// All is the registry of simlint's analyzers, in report order.
+var All = []*Analyzer{Determinism, Hotpath, Traceguard, Faultflow, Monitorpoll}
+
+// ByName resolves a subset of All from comma-separated names.
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		found := false
+		for _, a := range All {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("analysis: no analyzers selected")
+	}
+	return out, nil
+}
+
+// Diagnostic is one finding, positioned for file:line:col reporting.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    []Diagnostic
+}
+
+// Fset returns the package's file set.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Files returns the package's parsed files.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// Info returns the package's type information.
+func (p *Pass) Info() *types.Info { return p.Pkg.Info }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// WithStack walks every file of the pass's package, calling fn with each
+// node and the stack of its ancestors (stack[0] is the *ast.File,
+// stack[len-1] is n itself). Returning false prunes the subtree.
+func (p *Pass) WithStack(fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if !fn(n, stack) {
+				// Pruned subtrees get no closing nil from Inspect; pop now.
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// RunAnalyzers runs the analyzers over the packages, drops suppressed
+// findings (//simlint:allow), and returns the rest sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sup := buildSuppressions(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range pass.diags {
+				if !sup.suppressed(d.Analyzer, d.Pos) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// pathIn reports whether pkgPath matches one of the scope suffixes
+// ("internal/gpu" matches both "repro/internal/gpu" and a fixture that
+// re-creates it).
+func pathIn(pkgPath string, scope []string) bool {
+	for _, s := range scope {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcFor resolves a call expression's callee as a *types.Func, nil for
+// builtins, conversions, and calls through function-typed values.
+func funcFor(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call is to the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// recvNamed returns the name of a method's receiver type (dereferenced),
+// "" for non-methods.
+func recvNamed(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// fromPkg reports whether f is declared in a package whose import path
+// is pkgPath or ends in "/"+pkgPath.
+func fromPkg(f *types.Func, pkgPath string) bool {
+	return f != nil && f.Pkg() != nil &&
+		(f.Pkg().Path() == pkgPath || strings.HasSuffix(f.Pkg().Path(), "/"+pkgPath))
+}
+
+// endsInPanic reports whether the block's last statement is a call to
+// the panic builtin — the marker of a cold invariant-violation branch.
+func endsInPanic(info *types.Info, b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	es, ok := b.List[len(b.List)-1].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	return ok && isBuiltin(info, call, "panic")
+}

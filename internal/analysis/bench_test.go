@@ -1,0 +1,24 @@
+package analysis
+
+import "testing"
+
+// BenchmarkSimlint measures a whole-module analysis pass — load,
+// type-check, all five analyzers — the same work `go run ./cmd/simlint
+// ./...` performs. CI runs it once as a smoke with a wall-clock budget
+// (see .github/workflows/ci.yml); the point is to keep the linter cheap
+// enough to sit in the tier-1 gate.
+func BenchmarkSimlint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pkgs, err := Load("repro/...")
+		if err != nil {
+			b.Fatalf("Load: %v", err)
+		}
+		diags, err := RunAnalyzers(pkgs, All)
+		if err != nil {
+			b.Fatalf("RunAnalyzers: %v", err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("tree is not simlint-clean: %v", diags[0])
+		}
+	}
+}

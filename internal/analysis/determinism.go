@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// determinismScope names the packages whose results feed simulation
+// state, stats aggregation, or exported experiment tables — exactly the
+// code whose byte-determinism the reproduction's claims depend on
+// (TestDeterminism / TestDeterministicTelemetry are the dynamic side of
+// this contract).
+var determinismScope = []string{
+	"internal/gpu",
+	"internal/smcore",
+	"internal/regfile",
+	"internal/core",
+	"internal/stats",
+	"internal/exp",
+}
+
+// Determinism flags the three classic sources of run-to-run divergence
+// in simulation and aggregation code: unordered map iteration, wall
+// clock reads, and the process-global math/rand stream (whose sequence
+// depends on whatever else consumed it). Seeded *rand.Rand instances
+// (rand.New(rand.NewSource(seed))) are the sanctioned alternative.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flag map iteration, time.Now/Since, and global math/rand use in " +
+		"packages whose output must be bit-deterministic across identical runs",
+	Run: runDeterminism,
+}
+
+func runDeterminism(p *Pass) error {
+	if !p.Pkg.Fixture && !pathIn(p.Pkg.Path, determinismScope) {
+		return nil
+	}
+	info := p.Info()
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				t := info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); ok {
+					p.Reportf(n.Pos(), "range over %s: map iteration order is nondeterministic and this package feeds simulation state or exported results; iterate sorted keys instead", types.TypeString(t, types.RelativeTo(p.Pkg.Types)))
+				}
+			case *ast.CallExpr:
+				fn := funcFor(info, n)
+				if fn == nil {
+					return true
+				}
+				switch {
+				case fromPkg(fn, "time") && (fn.Name() == "Now" || fn.Name() == "Since"):
+					p.Reportf(n.Pos(), "time.%s in deterministic simulation code: wall-clock reads diverge between identical runs; derive timing from simulated cycles", fn.Name())
+				case fromPkg(fn, "math/rand") || fromPkg(fn, "math/rand/v2"):
+					if recvNamed(fn) != "" {
+						return true // methods on a seeded *rand.Rand are fine
+					}
+					if fn.Name() == "New" || fn.Name() == "NewSource" {
+						return true // constructing a seeded stream
+					}
+					p.Reportf(n.Pos(), "global math/rand.%s: the shared stream's sequence depends on unrelated consumers; use a seeded rand.New(rand.NewSource(seed))", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// Hotpath flags per-cycle code that would put allocation or formatting
+// on the simulator's critical path: the cycle loop runs tens of
+// millions of iterations per sweep cell, so one stray allocation per
+// tick dominates a 112-app campaign's wall time (the paper-scale sweeps
+// PR 2's harness exists to serve).
+//
+// A function is "hot" when its name contains one of the per-cycle stage
+// words (Tick, Cycle, Issue, Collect, Writeback) as a CamelCase word,
+// or when its doc comment carries //simlint:hotpath. Constructor-style
+// and reporting-style names (New*, Trace*, Reset*, Set*, With*, Name*,
+// String*) are exempt — they run once, not per cycle. Branches that end
+// in panic are cold invariant checks and are skipped.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc: "flag defer, fmt calls, make/new/&composite allocations, closure " +
+		"literals, and implicit interface boxing inside per-cycle functions",
+	Run: runHotpath,
+}
+
+var hotWords = map[string]bool{
+	"tick": true, "cycle": true, "issue": true, "collect": true, "writeback": true,
+}
+
+var coldPrefixWords = map[string]bool{
+	"new": true, "trace": true, "reset": true, "set": true,
+	"with": true, "name": true, "string": true,
+}
+
+// camelWords splits an identifier into CamelCase words: "issueTick" ->
+// [issue, Tick], "IssueCoV" -> [Issue, Co, V].
+func camelWords(name string) []string {
+	var words []string
+	start := 0
+	runes := []rune(name)
+	for i := 1; i < len(runes); i++ {
+		prevLower := unicode.IsLower(runes[i-1]) || unicode.IsDigit(runes[i-1])
+		if unicode.IsUpper(runes[i]) && (prevLower ||
+			(i+1 < len(runes) && unicode.IsLower(runes[i+1]))) {
+			words = append(words, string(runes[start:i]))
+			start = i
+		}
+	}
+	words = append(words, string(runes[start:]))
+	return words
+}
+
+// isHotFunc decides whether fd is per-cycle by annotation or name.
+func isHotFunc(fd *ast.FuncDecl) bool {
+	if hasDirective(fd.Doc, "hotpath") {
+		return true
+	}
+	words := camelWords(fd.Name.Name)
+	if len(words) == 0 || coldPrefixWords[strings.ToLower(words[0])] {
+		return false
+	}
+	for _, w := range words {
+		if hotWords[strings.ToLower(w)] {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotpath(p *Pass) error {
+	for _, f := range p.Files() {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotFunc(fd) {
+				continue
+			}
+			checkHotBody(p, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotBody(p *Pass, fd *ast.FuncDecl) {
+	info := p.Info()
+	name := fd.Name.Name
+
+	// Branches that terminate in panic are cold invariant checks.
+	cold := map[*ast.BlockStmt]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ifs, ok := n.(*ast.IfStmt); ok && endsInPanic(info, ifs.Body) {
+			cold[ifs.Body] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BlockStmt); ok && cold[b] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			p.Reportf(n.Pos(), "defer in hot function %s: deferred calls cost a frame record per invocation; unwind inline", name)
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "closure literal in hot function %s allocates per call when it escapes; hoist it to a field or method built once", name)
+			return false // the literal's body is reported once, not re-scanned
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					p.Reportf(n.Pos(), "&composite literal in hot function %s heap-allocates per call; reuse a preallocated value", name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(p, info, name, n)
+		}
+		return true
+	})
+}
+
+func checkHotCall(p *Pass, info *types.Info, name string, call *ast.CallExpr) {
+	switch {
+	case isBuiltin(info, call, "make"):
+		p.Reportf(call.Pos(), "make in hot function %s allocates per call; pre-size the buffer at construction and reuse it", name)
+		return
+	case isBuiltin(info, call, "new"):
+		p.Reportf(call.Pos(), "new in hot function %s allocates per call; reuse a preallocated value", name)
+		return
+	}
+	if fn := funcFor(info, call); fn != nil && fromPkg(fn, "fmt") {
+		p.Reportf(call.Pos(), "fmt.%s in hot function %s formats and allocates per call; precompute the string or move it off the per-cycle path", fn.Name(), name)
+		return
+	}
+	// Interface conversion: T(x) where T is an interface type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if types.IsInterface(tv.Type) && boxes(info.TypeOf(call.Args[0])) {
+			p.Reportf(call.Pos(), "conversion to interface in hot function %s boxes the value (one allocation per call)", name)
+		}
+		return
+	}
+	// Implicit boxing at call arguments whose parameter is an interface.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var paramT types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // a slice passed through does not box
+			}
+			paramT = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			paramT = sig.Params().At(i).Type()
+		}
+		if paramT == nil || !types.IsInterface(paramT) {
+			continue
+		}
+		if boxes(info.TypeOf(arg)) {
+			p.Reportf(arg.Pos(), "argument boxed into %s in hot function %s (one allocation per call); take a concrete parameter or pass a pointer", types.TypeString(paramT, nil), name)
+		}
+	}
+}
+
+// boxes reports whether converting a value of type t to an interface
+// allocates: true for concrete non-pointer values (structs, ints, ...),
+// false for pointers, interfaces, nil, and reference-shaped types whose
+// interface conversion stores the word directly.
+func boxes(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	return true
+}

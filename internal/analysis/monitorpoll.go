@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Monitorpoll enforces the hang-supervision contract from PR 2: a cycle
+// loop — an unbounded `for` that drives the device by calling a Tick
+// method — must poll the gpu.Monitor heartbeat/cancel channel, or the
+// watchdog and wall-clock timeout that make 112-app sweeps survivable
+// are silently bypassed (a livelocked cell would then burn its full
+// cycle cap instead of dying in wall-clock time). Range loops over SMs
+// inside a supervised loop are fine; the rule binds the outermost
+// free-running loop.
+var Monitorpoll = &Analyzer{
+	Name: "monitorpoll",
+	Doc: "flag unbounded cycle loops that call .Tick but never poll " +
+		"gpu.Monitor (heartbeat publish + cancellation check)",
+	Run: runMonitorpoll,
+}
+
+func runMonitorpoll(p *Pass) error {
+	info := p.Info()
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fs, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			ticks := false
+			polls := false
+			ast.Inspect(fs.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := funcFor(info, call)
+				if fn == nil {
+					return true
+				}
+				if fn.Name() == "Tick" && recvNamed(fn) != "" {
+					ticks = true
+				}
+				if recvNamed(fn) == "Monitor" && fromPkg(fn, "internal/gpu") {
+					polls = true
+				}
+				return true
+			})
+			if ticks && !polls {
+				p.Reportf(fs.Pos(), "cycle loop drives .Tick but never polls gpu.Monitor: without a periodic Monitor heartbeat/cancel check the harness watchdog and timeout cannot stop this loop")
+			}
+			// Nested loops are visited by the outer Inspect already.
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// allowRe matches the suppression directive. The "-- reason" tail is
+// conventionally required so every suppression carries its
+// justification at the site; the pattern tolerates its absence so the
+// analyzer suite never silently ignores a malformed reason.
+var allowRe = regexp.MustCompile(`^//simlint:allow\s+([a-zA-Z0-9_,\s]+?)\s*(?:--\s*(.*))?$`)
+
+// hasDirective reports whether the comment group carries the given
+// //simlint:<name> directive (exact word, e.g. "hotpath").
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == "//simlint:"+name || strings.HasPrefix(c.Text, "//simlint:"+name+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions maps file -> line -> the analyzer names allowed there.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) add(file string, line int, names []string) {
+	byLine := s[file]
+	if byLine == nil {
+		byLine = map[int]map[string]bool{}
+		s[file] = byLine
+	}
+	set := byLine[line]
+	if set == nil {
+		set = map[string]bool{}
+		byLine[line] = set
+	}
+	for _, n := range names {
+		set[n] = true
+	}
+}
+
+// suppressed reports whether a finding by the analyzer at pos is
+// covered by an //simlint:allow directive.
+func (s suppressions) suppressed(analyzer string, pos token.Position) bool {
+	byLine := s[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[pos.Line][analyzer]
+}
+
+func allowNames(text string) []string {
+	m := allowRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil
+	}
+	var names []string
+	for _, n := range strings.Split(m[1], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// buildSuppressions indexes every //simlint:allow directive of the
+// package. A directive on (or immediately above) a line covers that
+// line and the next; a directive in a function's doc comment covers
+// the whole declaration.
+func buildSuppressions(p *Package) suppressions {
+	s := suppressions{}
+	for _, f := range p.Files {
+		filename := p.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := allowNames(c.Text)
+				if names == nil {
+					continue
+				}
+				line := p.Fset.Position(c.Pos()).Line
+				s.add(filename, line, names)
+				s.add(filename, line+1, names)
+			}
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				names := allowNames(c.Text)
+				if names == nil {
+					continue
+				}
+				start := p.Fset.Position(fd.Pos()).Line
+				end := p.Fset.Position(fd.End()).Line
+				for l := start; l <= end; l++ {
+					s.add(filename, l, names)
+				}
+			}
+		}
+	}
+	return s
+}

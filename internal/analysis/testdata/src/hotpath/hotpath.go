@@ -1,0 +1,56 @@
+// Package hotpath is the golden-file fixture for the hotpath analyzer:
+// every allocation shape it flags inside per-cycle functions, plus the
+// exemptions (cold names, panic branches, //simlint:allow).
+package hotpath
+
+import "fmt"
+
+type event struct{ cycle int64 }
+
+func sink(v any) { _ = v }
+
+type queue struct {
+	buf     []event
+	scratch []event
+}
+
+func (q *queue) flush() {}
+
+// Tick is hot by name; every allocation shape inside it is a finding.
+func (q *queue) Tick(cycle int64) {
+	defer q.flush()           // want "defer in hot function"
+	e := &event{cycle: cycle} // want "composite literal in hot function"
+	_ = e
+	tmp := make([]event, 8) // want "make in hot function"
+	_ = tmp
+	p := new(event) // want "new in hot function"
+	_ = p
+	msg := fmt.Sprintf("cycle %d", cycle) // want "fmt.Sprintf in hot function"
+	_ = msg
+	fn := func() { q.flush() } // want "closure literal in hot function"
+	fn()
+	sink(event{cycle: cycle})     // want "argument boxed into"
+	v := any(event{cycle: cycle}) // want "conversion to interface in hot function"
+	_ = v
+}
+
+// issueTick demonstrates the sanctioned grow-once suppression and the
+// cold panic-branch exemption.
+func (q *queue) issueTick() {
+	if q.buf == nil {
+		panic(fmt.Sprintf("queue %p not initialized", q)) // cold branch: not flagged
+	}
+	if cap(q.scratch) == 0 {
+		q.scratch = make([]event, 0, 64) //simlint:allow hotpath -- grow-once scratch buffer; amortized to zero per cycle
+	}
+}
+
+//simlint:hotpath
+func (q *queue) drain() {
+	q.scratch = make([]event, 0, 64) // want "make in hot function"
+}
+
+// newQueue has a cold-prefix name: constructor allocations are fine.
+func newQueue() *queue {
+	return &queue{buf: make([]event, 0, 64)}
+}

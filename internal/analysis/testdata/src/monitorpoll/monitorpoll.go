@@ -1,0 +1,44 @@
+// Package monitorpoll is the golden-file fixture for the monitorpoll
+// analyzer: unbounded cycle loops with and without the gpu.Monitor
+// heartbeat/cancel poll the sweep watchdog depends on.
+package monitorpoll
+
+import "repro/internal/gpu"
+
+type device struct {
+	mon  *gpu.Monitor
+	done bool
+}
+
+func (d *device) Tick() {}
+
+// runUnsupervised free-runs the device: the watchdog cannot stop it.
+func runUnsupervised(d *device) {
+	for !d.done { // want "never polls gpu.Monitor"
+		d.Tick()
+	}
+}
+
+// runSupervised polls the monitor every iteration — the contract.
+func runSupervised(d *device) {
+	for !d.done {
+		d.Tick()
+		if d.mon.Canceled() {
+			return
+		}
+	}
+}
+
+// drain ranges over a slice: range loops are out of scope by design.
+func drain(devs []*device) {
+	for _, dev := range devs {
+		dev.Tick()
+	}
+}
+
+// runBounded is a justified suppression: 16 iterations cannot livelock.
+func runBounded(d *device) {
+	for i := 0; i < 16; i++ { //simlint:allow monitorpoll -- bounded warm-up loop; cannot livelock
+		d.Tick()
+	}
+}

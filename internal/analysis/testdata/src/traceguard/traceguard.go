@@ -1,0 +1,51 @@
+// Package traceguard is the golden-file fixture for the traceguard
+// analyzer: trace emission calls with and without the nil-guard pattern
+// internal/trace's cost model requires of its callers.
+package traceguard
+
+import "repro/internal/trace"
+
+type sm struct {
+	tr  *trace.SMT
+	tcr *trace.Tracer
+}
+
+// tickBad emits without any guard — both a cost-model violation and a
+// nil-pointer panic for untraced SMs.
+func (s *sm) tickBad() {
+	s.tr.Emit(trace.KIssue, 0, 1, 2, 3) // want "s.tr.Emit is not behind"
+}
+
+// sampleBad drives the tracer's counter path unguarded.
+func (s *sm) sampleBad(cycle int64, src trace.CounterSource) {
+	s.tcr.SetNow(cycle)           // want "s.tcr.SetNow is not behind"
+	s.tcr.MaybeSample(cycle, src) // want "s.tcr.MaybeSample is not behind"
+}
+
+// tickGuarded is the canonical pattern: one predictable branch.
+func (s *sm) tickGuarded() {
+	if s.tr != nil {
+		s.tr.Emit(trace.KIssue, 0, 1, 2, 3)
+	}
+}
+
+// tickEarlyReturn uses the early-exit half of the idiom.
+func (s *sm) tickEarlyReturn(cycle int64) {
+	if s.tcr == nil {
+		return
+	}
+	s.tcr.SetNow(cycle)
+}
+
+// tickConjunct guards inside a && condition.
+func (s *sm) tickConjunct(cycle int64, sampling bool) {
+	if sampling && s.tcr != nil {
+		s.tcr.SetNow(cycle)
+	}
+}
+
+// flushFinal is a deliberate suppression: a helper that only ever runs
+// with tracing enabled documents that contract in place.
+func (s *sm) flushFinal() {
+	s.tr.Emit(trace.KIssue, 0, 0, 0, 0) //simlint:allow traceguard -- helper only reachable when tracing is enabled
+}

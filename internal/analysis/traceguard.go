@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Traceguard enforces the nil-guard emission pattern the observability
+// layer's cost model rests on (internal/trace design constraint 1):
+// every per-cycle trace call in the simulator must be behind an
+// `if h != nil` check so an untraced run pays exactly one predictable
+// branch per site — the property BenchmarkTracingOverhead certifies
+// dynamically and this analyzer pins at the source level. An unguarded
+// call is also a latent nil-pointer panic, since (*Tracer).ForSM
+// returns nil for untraced SMs by design.
+var Traceguard = &Analyzer{
+	Name: "traceguard",
+	Doc: "flag internal/trace hot-path emission calls (SMT.Emit, " +
+		"Tracer.SetNow, Tracer.MaybeSample) not behind the nil-guard pattern",
+	Run: runTraceguard,
+}
+
+// guardedTraceMethods are the per-cycle emission entry points, keyed by
+// receiver type name.
+var guardedTraceMethods = map[string]map[string]bool{
+	"SMT":    {"Emit": true},
+	"Tracer": {"SetNow": true, "MaybeSample": true},
+}
+
+func runTraceguard(p *Pass) error {
+	// The trace package's own internals (and its tests) manipulate rings
+	// directly; the guard contract binds its *callers*.
+	if !p.Pkg.Fixture && strings.HasSuffix(p.Pkg.Path, "internal/trace") {
+		return nil
+	}
+	info := p.Info()
+	p.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := funcFor(info, call)
+		if fn == nil || !fromPkg(fn, "internal/trace") {
+			return true
+		}
+		methods := guardedTraceMethods[recvNamed(fn)]
+		if methods == nil || !methods[fn.Name()] {
+			return true
+		}
+		key := types.ExprString(sel.X)
+		if nilGuarded(info, stack, key) {
+			return true
+		}
+		p.Reportf(call.Pos(), "%s.%s is not behind an `if %s != nil` guard: trace emission must keep the untraced fast path to one branch (and %s is nil for untraced SMs)", key, fn.Name(), key, key)
+		return true
+	})
+	return nil
+}
+
+// nilGuarded reports whether the innermost node of stack is dominated
+// by a check that the expression rendering to key is non-nil: either an
+// enclosing `if key != nil { ... }` body, or an earlier
+// `if key == nil { return }` statement in an enclosing block.
+func nilGuarded(info *types.Info, stack []ast.Node, key string) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		child := stack[i+1]
+		switch anc := stack[i].(type) {
+		case *ast.IfStmt:
+			if anc.Body == child && condAssertsNonNil(anc.Cond, key) {
+				return true
+			}
+		case *ast.BlockStmt:
+			stmt, ok := child.(ast.Stmt)
+			if !ok {
+				continue
+			}
+			for _, s := range anc.List {
+				if s == stmt {
+					break
+				}
+				ifs, ok := s.(*ast.IfStmt)
+				if !ok {
+					continue
+				}
+				if condIsNilCheck(ifs.Cond, key) && blockDiverts(info, ifs.Body) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// condAssertsNonNil reports whether cond (or a conjunct of it) is
+// `key != nil`.
+func condAssertsNonNil(cond ast.Expr, key string) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			return condAssertsNonNil(c.X, key) || condAssertsNonNil(c.Y, key)
+		case token.NEQ:
+			return nilComparison(c, key)
+		}
+	}
+	return false
+}
+
+// condIsNilCheck reports whether cond is `key == nil`.
+func condIsNilCheck(cond ast.Expr, key string) bool {
+	c, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	return ok && c.Op == token.EQL && nilComparison(c, key)
+}
+
+// nilComparison reports whether one side of the comparison is the nil
+// identifier and the other renders to key.
+func nilComparison(c *ast.BinaryExpr, key string) bool {
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	switch {
+	case isNil(c.Y):
+		return types.ExprString(c.X) == key
+	case isNil(c.X):
+		return types.ExprString(c.Y) == key
+	}
+	return false
+}
+
+// blockDiverts reports whether the block unconditionally leaves the
+// enclosing function or loop iteration (return, panic, continue, break)
+// — the early-exit half of the guard idiom.
+func blockDiverts(info *types.Info, b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch s := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		return ok && isBuiltin(info, call, "panic")
+	}
+	return false
+}

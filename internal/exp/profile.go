@@ -74,12 +74,12 @@ func Profile(cfgs []config.GPU, names []string, apps []workloads.App) (*ProfileR
 				name = names[ci]
 			}
 			runtime.ReadMemStats(&ms0)
-			start := time.Now()
+			start := time.Now() //simlint:allow determinism -- wall-clock measurement is this profiler's purpose; it never feeds simulation state
 			r, err := RunApp(cfg, app)
 			if err != nil {
 				return nil, err
 			}
-			wall := time.Since(start).Seconds()
+			wall := time.Since(start).Seconds() //simlint:allow determinism -- wall-clock measurement is this profiler's purpose; it never feeds simulation state
 			runtime.ReadMemStats(&ms1)
 			e := ProfileEntry{
 				App:          app.Name,

@@ -222,6 +222,8 @@ func (c *Collector) Allocate(cu int, warpIdx, schedSlot int32, in isa.Instr, ban
 // EnqueueWrite queues a writeback. Writebacks have priority over reads at
 // their bank; the caller clears the scoreboard entry when the write shows
 // up in GrantedWrites.
+//
+//simlint:hotpath
 func (c *Collector) EnqueueWrite(w WriteReq) {
 	if int(w.Bank) < 0 || int(w.Bank) >= c.banks {
 		panic(fmt.Sprintf("regfile: write to bank %d of %d", w.Bank, c.banks))

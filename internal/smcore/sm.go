@@ -1,7 +1,6 @@
 package smcore
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/config"
@@ -54,18 +53,50 @@ type wbEvent struct {
 	subCore int8
 }
 
+// wbHeap is a min-heap of writeback events ordered by cycle. It is a
+// typed binary heap rather than container/heap because push/pop run on
+// the per-cycle path: container/heap's interface{} Push/Pop boxes every
+// wbEvent (one allocation per scheduled writeback, flagged by
+// simlint's hotpath analyzer).
 type wbHeap []wbEvent
 
-func (h wbHeap) Len() int            { return len(h) }
-func (h wbHeap) Less(i, j int) bool  { return h[i].cycle < h[j].cycle }
-func (h wbHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *wbHeap) Push(x interface{}) { *h = append(*h, x.(wbEvent)) }
-func (h *wbHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *wbHeap) push(e wbEvent) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent].cycle <= q[i].cycle {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
+	*h = q
+}
+
+func (h *wbHeap) pop() wbEvent {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < n && q[l].cycle < q[small].cycle {
+			small = l
+		}
+		if r := 2*i + 2; r < n && q[r].cycle < q[small].cycle {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	*h = q
+	return top
 }
 
 // SM is one streaming multiprocessor: sub-cores, the shared LSU, resident
@@ -273,7 +304,7 @@ func (sm *SM) fallbackSubCore(regsPerThread int) int {
 // scheduleWriteback books a register write at the given cycle; the write
 // then contends for its bank's port before clearing the scoreboard.
 func (sm *SM) scheduleWriteback(cycle int64, warpIdx int32, reg isa.Reg, bank int8, subCore int) {
-	heap.Push(&sm.wb, wbEvent{cycle: cycle, warpIdx: warpIdx, reg: reg, bank: bank, subCore: int8(subCore)})
+	sm.wb.push(wbEvent{cycle: cycle, warpIdx: warpIdx, reg: reg, bank: bank, subCore: int8(subCore)})
 }
 
 // warpExited handles an EXIT issue: the warp stops fetching but keeps its
@@ -335,7 +366,7 @@ func (sm *SM) retireBlock(blk *block) {
 func (sm *SM) Tick(now int64) {
 	// 1. Writeback events whose time has come enter the bank write ports.
 	for len(sm.wb) > 0 && sm.wb[0].cycle <= now {
-		e := heap.Pop(&sm.wb).(wbEvent)
+		e := sm.wb.pop()
 		sm.subcores[e.subCore].coll.EnqueueWrite(regfile.WriteReq{WarpIdx: e.warpIdx, Reg: e.reg, Bank: e.bank})
 		if sm.tr != nil {
 			sm.tr.Emit(trace.KWriteback, e.subCore, e.warpIdx, int32(e.reg), int32(e.bank))

@@ -80,6 +80,14 @@ type SubCore struct {
 	// scratch buffers reused across cycles.
 	cands   []core.Candidate
 	qlenBuf []int
+
+	// dispatchFn is the operand-collector dispatch callback, built once
+	// at construction: allocating a fresh closure in collectorTick would
+	// cost one heap allocation per sub-core per cycle (simlint hotpath).
+	// dispNow/dispPorts carry the per-cycle arguments it closes over.
+	dispatchFn func(*regfile.CollectorUnit) bool
+	dispNow    int64
+	dispPorts  int
 }
 
 func newSubCore(id int, cfg *config.GPU, sm *SM, st *stats.SubCore) *SubCore {
@@ -109,6 +117,19 @@ func newSubCore(id int, cfg *config.GPU, sm *SM, st *stats.SubCore) *SubCore {
 	// The MEM "unit" is an issue port into the SM-shared LSU; its real
 	// acceptance check is the LSU queue's, applied at dispatch.
 	sc.eu[isa.ClassMEM] = execUnit{ii: 1, ports: make([]int64, 1)}
+	sc.dispatchFn = func(cu *regfile.CollectorUnit) bool {
+		if sc.dispPorts <= 0 {
+			return false
+		}
+		if cu.Stolen {
+			return false // pre-read operands wait for formal issue
+		}
+		if !sc.dispatch(cu, sc.dispNow) {
+			return false
+		}
+		sc.dispPorts--
+		return true
+	}
 	return sc
 }
 
@@ -165,20 +186,9 @@ func (sc *SubCore) bankOf(w *Warp, r isa.Reg) int {
 // into execution units or the LSU, bounded by the sub-core's dispatch
 // ports per cycle.
 func (sc *SubCore) collectorTick(now int64) {
-	ports := sc.cfg.DispatchPortsPerSubCore
-	sc.coll.Tick(func(cu *regfile.CollectorUnit) bool {
-		if ports <= 0 {
-			return false
-		}
-		if cu.Stolen {
-			return false // pre-read operands wait for formal issue
-		}
-		if !sc.dispatch(cu, now) {
-			return false
-		}
-		ports--
-		return true
-	})
+	sc.dispNow = now
+	sc.dispPorts = sc.cfg.DispatchPortsPerSubCore
+	sc.coll.Tick(sc.dispatchFn)
 	for _, wr := range sc.coll.GrantedWrites() {
 		w := &sc.sm.warps[wr.WarpIdx]
 		w.SBClear(wr.Reg)
@@ -226,6 +236,7 @@ type issueCensus struct {
 	starved   int // active but instruction buffer empty
 }
 
+//simlint:hotpath
 func (sc *SubCore) buildCandidates(now int64) issueCensus {
 	sc.cands = sc.cands[:0]
 	var cen issueCensus
@@ -235,7 +246,7 @@ func (sc *SubCore) buildCandidates(now int64) issueCensus {
 		// Snapshot the arbiter queue lengths once per cycle (the RBA
 		// score tap, optionally through the delay line).
 		if cap(sc.qlenBuf) < banks {
-			sc.qlenBuf = make([]int, banks)
+			sc.qlenBuf = make([]int, banks) //simlint:allow hotpath -- grow-once scratch buffer; amortized to zero per cycle
 		}
 		sc.qlenBuf = sc.qlenBuf[:banks]
 		delay := sc.cfg.RBAScoreLatency

@@ -161,17 +161,27 @@ func (r *Run) IssueCoV() float64 {
 	var sum float64
 	var n int
 	for i := range r.SMs {
-		vals := make([]float64, 0, len(r.SMs[i].SubCores))
+		subs := r.SMs[i].SubCores
+		if len(subs) == 0 {
+			continue
+		}
+		// Streaming CoV (population stddev / mean), equivalent to CoV()
+		// over the per-sub-core counts but without building a slice —
+		// this accessor rides report loops over full sweep matrices.
 		var total int64
-		for j := range r.SMs[i].SubCores {
-			v := r.SMs[i].SubCores[j].Issued
-			total += v
-			vals = append(vals, float64(v))
+		for j := range subs {
+			total += subs[j].Issued
 		}
 		if total == 0 {
 			continue
 		}
-		sum += CoV(vals)
+		mean := float64(total) / float64(len(subs))
+		var ss float64
+		for j := range subs {
+			d := float64(subs[j].Issued) - mean
+			ss += d * d
+		}
+		sum += math.Sqrt(ss/float64(len(subs))) / mean
 		n++
 	}
 	if n == 0 {
