@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/exp"
+	"repro/internal/metrics"
 	"repro/internal/power"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -310,4 +311,43 @@ func BenchmarkTracingOverhead(b *testing.B) {
 		}
 		b.ReportMetric(float64(instr*int64(b.N))/b.Elapsed().Seconds(), "instr/s")
 	})
+}
+
+// BenchmarkMetricsOverhead guards the internal/metrics hot path the same
+// way BenchmarkTracingOverhead guards tracing. "disabled" is the normal
+// simulation with no registry attached — the refined CPI counters are
+// plain int64 increments inside the issue stage and the device flush
+// reduces to one nil check per monitor beat; this sub-benchmark must
+// stay within 2% of the pre-metrics baseline (the CI contract).
+// "enabled" attaches a live registry and shows what telemetry costs
+// when switched on (counter flushes ride the 1024-cycle heartbeat, so
+// it should be indistinguishable).
+func BenchmarkMetricsOverhead(b *testing.B) {
+	app, err := AppByName("pb-mriq")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := VoltaV100()
+	cfg.NumSMs = 4
+
+	run := func(b *testing.B, reg *metrics.Registry) {
+		var instr int64
+		for i := 0; i < b.N; i++ {
+			g, err := NewGPU(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.SetMetrics(reg)
+			for _, k := range app.Kernels {
+				if err := g.RunKernel(k, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			instr = g.Run().Instructions
+		}
+		b.ReportMetric(float64(instr*int64(b.N))/b.Elapsed().Seconds(), "instr/s")
+	}
+
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("enabled", func(b *testing.B) { run(b, metrics.New()) })
 }

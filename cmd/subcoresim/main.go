@@ -15,7 +15,12 @@
 // event stream (issue, stalls, bank grants, LSU, writebacks, block
 // lifecycle) plus sampled counters and exports Chrome trace-event JSON;
 // -trace and -timeline print terminal sparklines from the same sampled
-// counter series.
+// counter series. -metrics-addr serves live telemetry over HTTP for the
+// run's duration (`curl $addr/metrics`, docs/OBSERVABILITY.md): cycle
+// and instruction counters updated at the monitor heartbeat, so a hung
+// run shows as a stalled gauge. The text report ends with the top-down
+// CPI stack (internal/stats): every sub-core cycle attributed to
+// exactly one cause.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/exp"
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/plot"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -57,6 +63,7 @@ func main() {
 		cfgFile  = flag.String("config-file", "", "JSON file of configuration overrides (base: VoltaV100)")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited)")
 		maxCyc   = flag.Int64("max-cycles", 0, "per-kernel simulated-cycle cap (0 = simulator default)")
+		metAddr  = flag.String("metrics-addr", "", "serve live telemetry on this address (e.g. 127.0.0.1:9090; empty = off)")
 	)
 	flag.Parse()
 
@@ -167,6 +174,16 @@ func main() {
 		tr = trace.New(trace.OptionsFor(&cfg, 0))
 		hopt.Tracer = tr
 	}
+	if *metAddr != "" {
+		reg := metrics.New()
+		srv, err := metrics.Serve(*metAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		hopt.Metrics = reg
+		fmt.Fprintf(os.Stderr, "subcoresim: telemetry at http://%s/metrics\n", srv.Addr())
+	}
 	r, fault := harness.RunOne(ctx, cfg, app, hopt)
 	if needTracer {
 		if err := tr.Close(); err != nil {
@@ -262,6 +279,12 @@ func report(cfgName, appName string, r *repro.Result) {
 	}
 	if hits+misses > 0 {
 		fmt.Printf("L1 hit rate:    %.3f\n", float64(hits)/float64(hits+misses))
+	}
+	st := r.CPIStack()
+	shares := st.Shares()
+	fmt.Println("CPI stack (top-down, every sub-core cycle attributed once):")
+	for c := stats.CPIComponent(0); c < stats.NumCPIComponents; c++ {
+		fmt.Printf("  %-14s %12d  %5.1f%%\n", c, st[c], shares[c]*100)
 	}
 }
 

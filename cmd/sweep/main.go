@@ -28,6 +28,13 @@
 // simulator-performance report instead of the CSV: per-app wall-clock,
 // simulated cycles/sec and instructions/sec, and heap allocations — the
 // baseline future performance work diffs against.
+//
+// With -metrics-addr the sweep serves live telemetry over HTTP for its
+// duration (docs/OBSERVABILITY.md): `curl $addr/metrics` returns
+// Prometheus-format counters and gauges — per-cell heartbeat progress,
+// faults by kind, the aggregated CPI stack — and /debug/vars the same
+// as JSON. With -bench-out the completed matrix is also written as a
+// BENCH_<date>.json performance baseline for cmd/benchdiff.
 package main
 
 import (
@@ -41,8 +48,10 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/bench"
 	"repro/internal/exp"
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/workloads"
 )
 
@@ -60,6 +69,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 		ckpt      = flag.String("checkpoint", "", "append completed cells to this JSONL file and resume from it")
 		diag      = flag.String("diag", "", "write flight-recorder dumps for faulted cells to this directory")
+		metricsAt = flag.String("metrics-addr", "", "serve live telemetry on this address (e.g. 127.0.0.1:9090; empty = off)")
+		benchOut  = flag.String("bench-out", "", "write the completed matrix as a performance baseline JSON (for benchdiff)")
 	)
 	flag.Parse()
 
@@ -104,6 +115,19 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 
+	// Live telemetry: counters/gauges scrapeable for the sweep's
+	// duration; a hung cell shows as a stalled heartbeat gauge.
+	var reg *metrics.Registry
+	if *metricsAt != "" {
+		reg = metrics.New()
+		srv, err := metrics.Serve(*metricsAt, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sweep: telemetry at http://%s/metrics\n", srv.Addr())
+	}
+
 	res, err := harness.Run(ctx, cfgs, names, apps, harness.Options{
 		Workers:          *workers,
 		Timeout:          *timeout,
@@ -111,12 +135,21 @@ func main() {
 		WatchdogInterval: *watchdog,
 		CheckpointPath:   *ckpt,
 		DiagDir:          *diag,
+		Metrics:          reg,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *benchOut != "" {
+		b := bench.FromResult(res, apps, names, time.Now().UTC().Format(time.RFC3339))
+		if err := b.WriteFile(*benchOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: wrote %d-cell baseline to %s\n", len(b.Cells), *benchOut)
 	}
 
 	fmt.Print("app,config,cycles,instructions,ipc,bank_conflicts,issue_cov\n")

@@ -1,0 +1,67 @@
+// metrics.go is the metrics half of the traceguard fixture: handle
+// mutations (Counter.Inc/Add, Gauge.Set/Add, Histogram.Observe) with
+// and without the nil-guard pattern, including the container-guard
+// idiom — `if m == nil { return }` covers every handle m owns, because
+// a metrics container populates all its handles at construction.
+package traceguard
+
+import "repro/internal/metrics"
+
+type devMet struct {
+	cycles *metrics.Counter
+	depth  *metrics.Gauge
+	lat    *metrics.Histogram
+	faults [4]*metrics.Counter
+}
+
+type dev struct {
+	met *devMet
+}
+
+// tickBadMetrics mutates handles without any guard: with telemetry off
+// every handle is nil and each call both panics and breaks the
+// one-branch disabled fast path.
+func (d *dev) tickBadMetrics(k int) {
+	d.met.cycles.Inc()     // want "d.met.cycles.Inc is not behind a nil guard"
+	d.met.depth.Set(1)     // want "d.met.depth.Set is not behind a nil guard"
+	d.met.lat.Observe(2)   // want "d.met.lat.Observe is not behind a nil guard"
+	d.met.faults[k].Add(3) // want "faults\\[k\\]\\.Add is not behind a nil guard"
+}
+
+// observeBad takes the handle directly; still unguarded.
+func observeBad(h *metrics.Histogram) {
+	h.Observe(1) // want "h.Observe is not behind a nil guard"
+}
+
+// tickContainerGuard is the canonical container-guard idiom: one branch
+// on the owning struct covers every handle beneath it.
+func (d *dev) tickContainerGuard(k int) {
+	if d.met != nil {
+		d.met.cycles.Inc()
+		d.met.faults[k].Add(1)
+	}
+}
+
+// tickEarlyReturn uses the early-exit half of the idiom on a local
+// rebinding of the container.
+func (d *dev) tickEarlyReturn() {
+	m := d.met
+	if m == nil {
+		return
+	}
+	m.cycles.Add(5)
+	m.lat.Observe(1)
+	m.depth.Add(-1)
+}
+
+// tickExactGuard guards the handle expression itself.
+func tickExactGuard(c *metrics.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// tickAllowed documents a deliberate suppression.
+func (d *dev) tickAllowed() {
+	d.met.cycles.Inc() //simlint:allow traceguard -- helper only reachable when telemetry is enabled
+}

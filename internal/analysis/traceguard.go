@@ -8,17 +8,26 @@ import (
 )
 
 // Traceguard enforces the nil-guard emission pattern the observability
-// layer's cost model rests on (internal/trace design constraint 1):
-// every per-cycle trace call in the simulator must be behind an
-// `if h != nil` check so an untraced run pays exactly one predictable
-// branch per site — the property BenchmarkTracingOverhead certifies
-// dynamically and this analyzer pins at the source level. An unguarded
-// call is also a latent nil-pointer panic, since (*Tracer).ForSM
-// returns nil for untraced SMs by design.
+// layer's cost model rests on (internal/trace design constraint 1, and
+// the identical contract internal/metrics states for its handles):
+// every per-cycle trace or metrics call in the simulator must be behind
+// an `if h != nil` check so an untraced/unmetered run pays exactly one
+// predictable branch per site — the property BenchmarkTracingOverhead
+// and BenchmarkMetricsOverhead certify dynamically and this analyzer
+// pins at the source level. An unguarded call is also a latent
+// nil-pointer panic, since (*Tracer).ForSM and every metrics
+// registration on a nil *Registry return nil handles by design.
+//
+// A guard on an owning prefix counts: `if m == nil { return }` covers
+// `m.cells.Inc()` and `m.faults[k].Inc()`, because a metrics container
+// populates all its handles at construction — non-nil container implies
+// non-nil handles.
 var Traceguard = &Analyzer{
 	Name: "traceguard",
 	Doc: "flag internal/trace hot-path emission calls (SMT.Emit, " +
-		"Tracer.SetNow, Tracer.MaybeSample) not behind the nil-guard pattern",
+		"Tracer.SetNow, Tracer.MaybeSample) and internal/metrics " +
+		"hot-path updates (Counter.Inc/Add, Gauge.Set/Add, " +
+		"Histogram.Observe) not behind the nil-guard pattern",
 	Run: runTraceguard,
 }
 
@@ -29,10 +38,21 @@ var guardedTraceMethods = map[string]map[string]bool{
 	"Tracer": {"SetNow": true, "MaybeSample": true},
 }
 
+// guardedMetricsMethods are the metrics handle mutations that may sit on
+// simulator hot paths, keyed by receiver type name. Registration methods
+// are already nil-safe on a nil *Registry and need no guard.
+var guardedMetricsMethods = map[string]map[string]bool{
+	"Counter":   {"Inc": true, "Add": true},
+	"Gauge":     {"Set": true, "Add": true},
+	"Histogram": {"Observe": true},
+}
+
 func runTraceguard(p *Pass) error {
-	// The trace package's own internals (and its tests) manipulate rings
-	// directly; the guard contract binds its *callers*.
-	if !p.Pkg.Fixture && strings.HasSuffix(p.Pkg.Path, "internal/trace") {
+	// The trace and metrics packages' own internals (and their tests)
+	// manipulate handles directly; the guard contract binds their
+	// *callers*.
+	if !p.Pkg.Fixture && (strings.HasSuffix(p.Pkg.Path, "internal/trace") ||
+		strings.HasSuffix(p.Pkg.Path, "internal/metrics")) {
 		return nil
 	}
 	info := p.Info()
@@ -46,27 +66,36 @@ func runTraceguard(p *Pass) error {
 			return true
 		}
 		fn := funcFor(info, call)
-		if fn == nil || !fromPkg(fn, "internal/trace") {
+		if fn == nil {
 			return true
 		}
-		methods := guardedTraceMethods[recvNamed(fn)]
-		if methods == nil || !methods[fn.Name()] {
+		var isMetrics bool
+		switch {
+		case fromPkg(fn, "internal/trace") && guardedTraceMethods[recvNamed(fn)][fn.Name()]:
+		case fromPkg(fn, "internal/metrics") && guardedMetricsMethods[recvNamed(fn)][fn.Name()]:
+			isMetrics = true
+		default:
 			return true
 		}
 		key := types.ExprString(sel.X)
 		if nilGuarded(info, stack, key) {
 			return true
 		}
-		p.Reportf(call.Pos(), "%s.%s is not behind an `if %s != nil` guard: trace emission must keep the untraced fast path to one branch (and %s is nil for untraced SMs)", key, fn.Name(), key, key)
+		if isMetrics {
+			p.Reportf(call.Pos(), "%s.%s is not behind a nil guard: metrics updates must keep the disabled fast path to one branch — guard %s (or the container that owns it) against nil", key, fn.Name(), key)
+		} else {
+			p.Reportf(call.Pos(), "%s.%s is not behind an `if %s != nil` guard: trace emission must keep the untraced fast path to one branch (and %s is nil for untraced SMs)", key, fn.Name(), key, key)
+		}
 		return true
 	})
 	return nil
 }
 
 // nilGuarded reports whether the innermost node of stack is dominated
-// by a check that the expression rendering to key is non-nil: either an
-// enclosing `if key != nil { ... }` body, or an earlier
-// `if key == nil { return }` statement in an enclosing block.
+// by a check that the expression rendering to key — or an owning prefix
+// of it — is non-nil: either an enclosing `if key != nil { ... }` body,
+// or an earlier `if key == nil { return }` statement in an enclosing
+// block.
 func nilGuarded(info *types.Info, stack []ast.Node, key string) bool {
 	for i := len(stack) - 2; i >= 0; i-- {
 		child := stack[i+1]
@@ -119,7 +148,7 @@ func condIsNilCheck(cond ast.Expr, key string) bool {
 }
 
 // nilComparison reports whether one side of the comparison is the nil
-// identifier and the other renders to key.
+// identifier and the other renders to key or to an owning prefix of it.
 func nilComparison(c *ast.BinaryExpr, key string) bool {
 	isNil := func(e ast.Expr) bool {
 		id, ok := ast.Unparen(e).(*ast.Ident)
@@ -127,11 +156,24 @@ func nilComparison(c *ast.BinaryExpr, key string) bool {
 	}
 	switch {
 	case isNil(c.Y):
-		return types.ExprString(c.X) == key
+		return guardCovers(types.ExprString(c.X), key)
 	case isNil(c.X):
-		return types.ExprString(c.Y) == key
+		return guardCovers(types.ExprString(c.Y), key)
 	}
 	return false
+}
+
+// guardCovers reports whether a nil check on the expression rendering to
+// guard establishes that key is non-nil: either the same expression, or
+// an owning prefix of it (`m` covers `m.cells` and `m.faults[k]`) — the
+// container-guard idiom, valid because the observability containers
+// populate every handle at construction.
+func guardCovers(guard, key string) bool {
+	if guard == key {
+		return true
+	}
+	return strings.HasPrefix(key, guard) && len(key) > len(guard) &&
+		(key[len(guard)] == '.' || key[len(guard)] == '[')
 }
 
 // blockDiverts reports whether the block unconditionally leaves the

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/program"
 	"repro/internal/smcore"
 	"repro/internal/stats"
@@ -85,6 +86,21 @@ type GPU struct {
 
 	tracer *trace.Tracer
 	mon    *Monitor
+	met    *devMetrics
+}
+
+// devMetrics holds the device's live-telemetry handles plus the
+// last-published watermarks. Counters are flushed as deltas at
+// heartbeat granularity (monitorPeriod cycles), never per cycle, so the
+// enabled path stays off the critical loop and the disabled path is one
+// nil check per heartbeat.
+type devMetrics struct {
+	cycles  *metrics.Counter
+	instrs  *metrics.Counter
+	kernels *metrics.Counter
+
+	lastCycle int64
+	lastInstr int64
 }
 
 // New builds a device for the configuration.
@@ -129,6 +145,41 @@ func (g *GPU) SetTracer(t *trace.Tracer) {
 
 // Tracer returns the attached tracer, or nil.
 func (g *GPU) Tracer() *trace.Tracer { return g.tracer }
+
+// SetMetrics attaches a live telemetry registry: simulated cycles,
+// issued instructions, and completed kernels stream to it at heartbeat
+// granularity. The handles are shared device-wide aggregates — several
+// concurrent GPUs (a sweep's workers) feed the same counters through
+// atomic adds. Pass nil to detach (the nil-guarded fast path measured
+// by BenchmarkMetricsOverhead).
+func (g *GPU) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		g.met = nil
+		return
+	}
+	g.met = &devMetrics{
+		cycles:  reg.Counter("sim_cycles_total", "simulated device cycles across all runs feeding this registry"),
+		instrs:  reg.Counter("sim_instructions_total", "warp instructions issued across all runs feeding this registry"),
+		kernels: reg.Counter("sim_kernels_total", "kernel launches completed"),
+		// Deltas are relative to this device's own cycle/instruction
+		// space, which survives across RunKernel calls.
+		lastCycle: g.cycle,
+		lastInstr: g.run.Instructions,
+	}
+}
+
+// flushMetrics publishes the cycle/instruction deltas accumulated since
+// the previous flush. Called at heartbeat boundaries and at kernel
+// completion — never per cycle.
+func (g *GPU) flushMetrics() {
+	m := g.met
+	if m == nil {
+		return
+	}
+	m.cycles.Add(g.cycle - m.lastCycle)
+	m.instrs.Add(g.run.Instructions - m.lastInstr)
+	m.lastCycle, m.lastInstr = g.cycle, g.run.Instructions
+}
 
 // TraceReads enables the Fig. 14 per-cycle register-read trace on SM 0.
 // Call before RunKernel.
@@ -285,8 +336,11 @@ func (g *GPU) RunConcurrent(kernels []*Kernel, maxCycles int64) error {
 				BlocksTotal:    totalBlocks,
 			}
 		}
-		if g.cycle&(monitorPeriod-1) == 0 && g.mon.beat(g.cycle) {
-			return &CancelError{Kernel: kernels[0].Name, Cycle: g.cycle, Reason: g.mon.Reason()}
+		if g.cycle&(monitorPeriod-1) == 0 {
+			g.flushMetrics()
+			if g.mon.beat(g.cycle) {
+				return &CancelError{Kernel: kernels[0].Name, Cycle: g.cycle, Reason: g.mon.Reason()}
+			}
 		}
 	}
 	g.harvestCacheStats()
@@ -299,6 +353,10 @@ func (g *GPU) RunConcurrent(kernels []*Kernel, maxCycles int64) error {
 		Cycles:       g.cycle - startCycles,
 		Instructions: g.run.Instructions - startInstr,
 	})
+	if g.met != nil {
+		g.met.kernels.Inc()
+		g.flushMetrics()
+	}
 	return nil
 }
 

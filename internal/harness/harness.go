@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/gpu"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -82,6 +83,16 @@ type Options struct {
 	// Logf, when non-nil, receives one line per fault and per resume
 	// summary (a sweep is otherwise silent).
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives live sweep telemetry: per-cell
+	// heartbeat gauges (a hung cell shows as a stalled
+	// sweep_cell_heartbeat_cycle), completion/fault/retry/checkpoint
+	// counters, aggregated CPI-stack cycles, and the devices' cycle and
+	// instruction totals (nil = no telemetry, the guarded fast path).
+	Metrics *metrics.Registry
+
+	// sm carries the registered handles; built once per Run/RunOne from
+	// Metrics, nil when telemetry is off.
+	sm *sweepMetrics
 }
 
 // DefaultRetryFactor multiplies the cycle cap for the bounded retry of a
@@ -114,6 +125,12 @@ type Result struct {
 	// Resumed counts cells restored from the checkpoint; Executed counts
 	// cells actually simulated this run.
 	Resumed, Executed int
+	// Wall is the per-cell wall-clock simulation time in seconds,
+	// indexed like Runs. Zero for resumed and faulted cells. Wall time
+	// is the one nondeterministic cell datum — the bench baseline
+	// (internal/bench) records it as informational throughput and
+	// excludes it from regression comparison.
+	Wall [][]float64
 }
 
 // Complete reports whether every cell has a run.
@@ -140,11 +157,14 @@ func Run(ctx context.Context, cfgs []config.GPU, names []string, apps []workload
 	}
 	res := &Result{
 		Runs: make([][]*stats.Run, len(apps)),
+		Wall: make([][]float64, len(apps)),
 		Errs: CellErrors{},
 	}
 	for i := range res.Runs {
 		res.Runs[i] = make([]*stats.Run, len(cfgs))
+		res.Wall[i] = make([]float64, len(cfgs))
 	}
+	opt.sm = newSweepMetrics(opt.Metrics)
 
 	// Checkpoint: restore completed cells, then append new ones.
 	var ckpt *checkpointWriter
@@ -184,6 +204,7 @@ func Run(ctx context.Context, cfgs []config.GPU, names []string, apps []workload
 			}
 		}
 	}
+	opt.sm.sweepShape(len(apps)*len(cfgs), res.Resumed)
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -208,7 +229,7 @@ func Run(ctx context.Context, cfgs []config.GPU, names []string, apps []workload
 				if opt.Adapt != nil {
 					cfg = opt.Adapt(cfg, apps[c.App])
 				}
-				run, fault := runCell(ctx, cfg, apps[c.App], names[c.Cfg], opt)
+				run, wall, fault := runCell(ctx, cfg, apps[c.App], names[c.Cfg], opt)
 				mu.Lock()
 				res.Executed++
 				if fault != nil {
@@ -220,6 +241,7 @@ func Run(ctx context.Context, cfgs []config.GPU, names []string, apps []workload
 					continue
 				}
 				res.Runs[c.App][c.Cfg] = run
+				res.Wall[c.App][c.Cfg] = wall
 				mu.Unlock()
 				if ckpt != nil {
 					if err := ckpt.Write(apps[c.App].Name, names[c.Cfg], run); err != nil {
@@ -228,6 +250,8 @@ func Run(ctx context.Context, cfgs []config.GPU, names []string, apps []workload
 							ckptErr = err
 						}
 						mu.Unlock()
+					} else {
+						opt.sm.checkpointWrote()
 					}
 				}
 			}
@@ -278,7 +302,9 @@ func RunOne(ctx context.Context, cfg config.GPU, app workloads.App, opt Options)
 	if opt.Adapt != nil {
 		cfg = opt.Adapt(cfg, app)
 	}
-	run, fault := runCell(ctx, cfg, app, cfg.Name, opt)
+	opt.sm = newSweepMetrics(opt.Metrics)
+	opt.sm.sweepShape(1, 0)
+	run, _, fault := runCell(ctx, cfg, app, cfg.Name, opt)
 	if fault != nil {
 		fault.App, fault.Config = app.Name, cfg.Name
 	}
@@ -286,27 +312,36 @@ func RunOne(ctx context.Context, cfg config.GPU, app workloads.App, opt Options)
 }
 
 // runCell runs one cell, retrying once at a raised cycle cap if the
-// first attempt died on the simulated-cycle deadline.
-func runCell(ctx context.Context, cfg config.GPU, app workloads.App, cfgName string, opt Options) (*stats.Run, *SimFault) {
+// first attempt died on the simulated-cycle deadline. It accounts the
+// cell's terminal outcome (completion or fault, plus any retry) to the
+// sweep metrics and returns the wall-clock seconds spent simulating.
+func runCell(ctx context.Context, cfg config.GPU, app workloads.App, cfgName string, opt Options) (*stats.Run, float64, *SimFault) {
 	maxCycles := opt.MaxCycles
 	if maxCycles <= 0 {
 		maxCycles = gpu.DefaultMaxCycles
 	}
+	start := time.Now()
 	run, fault := runCellOnce(ctx, cfg, app, cfgName, opt, maxCycles)
-	if fault == nil || fault.Kind != FaultDeadline || opt.RetryFactor < 0 {
-		return run, fault
+	if fault != nil && fault.Kind == FaultDeadline && opt.RetryFactor >= 0 {
+		factor := opt.RetryFactor
+		if factor == 0 {
+			factor = DefaultRetryFactor
+		}
+		opt.logf("harness: %s on %s hit the %d-cycle cap; retrying once at %d",
+			app.Name, cfgName, maxCycles, maxCycles*factor)
+		opt.sm.retried()
+		run, fault = runCellOnce(ctx, cfg, app, cfgName, opt, maxCycles*factor)
+		if fault != nil {
+			fault.Retried = true
+		}
 	}
-	factor := opt.RetryFactor
-	if factor == 0 {
-		factor = DefaultRetryFactor
-	}
-	opt.logf("harness: %s on %s hit the %d-cycle cap; retrying once at %d",
-		app.Name, cfgName, maxCycles, maxCycles*factor)
-	run, fault = runCellOnce(ctx, cfg, app, cfgName, opt, maxCycles*factor)
+	wall := time.Since(start).Seconds()
 	if fault != nil {
-		fault.Retried = true
+		opt.sm.cellFaulted(fault.Kind)
+		return run, wall, fault
 	}
-	return run, fault
+	opt.sm.cellDone(run)
+	return run, wall, nil
 }
 
 // runCellOnce is one supervised attempt at a cell.
@@ -314,6 +349,9 @@ func runCellOnce(ctx context.Context, cfg config.GPU, app workloads.App, cfgName
 	mon := &gpu.Monitor{}
 	stop := supervise(ctx, mon, opt)
 	defer stop()
+	// Live progress: the heartbeat gauge reads this attempt's monitor at
+	// scrape time (a retry re-points it at the fresh monitor).
+	opt.sm.watchCell(app.Name, cfgName, mon)
 
 	// Flight recorder: a small SM-0 ring whose tail is dumped on fault.
 	tr := opt.Tracer
@@ -368,6 +406,7 @@ func runCellOnce(ctx context.Context, cfg config.GPU, app workloads.App, cfgName
 		return nil, &SimFault{Kind: FaultError, Err: err}
 	}
 	g.SetMonitor(mon)
+	g.SetMetrics(opt.Metrics)
 	if tr != nil {
 		g.SetTracer(tr)
 	}

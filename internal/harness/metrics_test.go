@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/workloads"
+)
+
+// TestChaosSweepMetrics re-runs the chaos scenario with telemetry
+// attached and asserts the harness's counters: faults by kind, completed
+// cells, checkpoint writes, and resumed cells across a resume cycle.
+// Registration is idempotent, so a second newSweepMetrics on the same
+// registry hands back the same series to read from.
+func TestChaosSweepMetrics(t *testing.T) {
+	cfgs := []config.GPU{testCfg("cfgA"), testCfg("cfgB")}
+	apps := []workloads.App{testApp("app0", 300), testApp("app1", 300), testApp("app2", 300)}
+	reg := metrics.New()
+	opt := Options{
+		Workers:          4,
+		WatchdogInterval: 50 * time.Millisecond,
+		CheckpointPath:   filepath.Join(t.TempDir(), "chaos.ckpt"),
+		Metrics:          reg,
+		Injector: InjectFault(map[string]Injection{
+			"app0/cfgA": InjectPanic,
+			"app1/cfgB": InjectHang,
+			"app2/cfgA": InjectError,
+		}),
+		Logf: t.Logf,
+	}
+
+	res, err := Run(context.Background(), cfgs, nil, apps, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Faults) != 3 {
+		t.Fatalf("got %d faults, want 3", len(res.Faults))
+	}
+	m := newSweepMetrics(reg)
+	if got := m.cellsTotal.Value(); got != 6 {
+		t.Errorf("sweep_cells_total = %v, want 6", got)
+	}
+	if got := m.cellsDone.Value(); got != 3 {
+		t.Errorf("sweep_cells_completed_total = %d, want 3", got)
+	}
+	wantFaults := map[FaultKind]int64{FaultPanic: 1, FaultWatchdog: 1, FaultError: 1}
+	for k := FaultKind(0); k < numFaultKinds; k++ {
+		if got := m.faults[k].Value(); got != wantFaults[k] {
+			t.Errorf("sweep_faults_total{kind=%q} = %d, want %d", k, got, wantFaults[k])
+		}
+	}
+	if got := m.ckptWrites.Value(); got != 3 {
+		t.Errorf("sweep_checkpoint_writes_total = %d, want 3", got)
+	}
+	if got := m.cellsResumed.Value(); got != 0 {
+		t.Errorf("sweep_cells_resumed_total = %d, want 0", got)
+	}
+	if got := m.cellIPC.Count(); got != 3 {
+		t.Errorf("sweep_cell_ipc count = %d, want 3", got)
+	}
+	// Completed cells folded their CPI stacks into the device totals;
+	// every completed cell attributed at least its issue cycles.
+	var cpiTotal int64
+	for _, c := range m.cpi {
+		cpiTotal += c.Value()
+	}
+	if cpiTotal == 0 || m.cpi[0].Value() == 0 {
+		t.Errorf("sim_cpi_cycles_total empty after 3 completed cells (total %d)", cpiTotal)
+	}
+
+	// Resume: the injector already fired, so the 3 faulted cells run
+	// clean. Counters accumulate on the same registry.
+	res2, err := Run(context.Background(), cfgs, nil, apps, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Complete() || res2.Resumed != 3 {
+		t.Fatalf("resume: complete=%v resumed=%d", res2.Complete(), res2.Resumed)
+	}
+	if got := m.cellsDone.Value(); got != 6 {
+		t.Errorf("after resume: completed = %d, want 6", got)
+	}
+	if got := m.cellsResumed.Value(); got != 3 {
+		t.Errorf("after resume: resumed = %d, want 3", got)
+	}
+}
+
+// TestRetryMetric: a deadline-killed-then-retried cell increments
+// sweep_retries_total exactly once.
+func TestRetryMetric(t *testing.T) {
+	cfg, app := testCfg("base"), testApp("capped", 200)
+	ref, fault := RunOne(context.Background(), cfg, app, Options{})
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	reg := metrics.New()
+	if _, fault := RunOne(context.Background(), cfg, app, Options{
+		MaxCycles: ref.Cycles / 2,
+		Metrics:   reg,
+	}); fault != nil {
+		t.Fatal(fault)
+	}
+	m := newSweepMetrics(reg)
+	if got := m.retries.Value(); got != 1 {
+		t.Errorf("sweep_retries_total = %d, want 1", got)
+	}
+	if got := m.cellsDone.Value(); got != 1 {
+		t.Errorf("sweep_cells_completed_total = %d, want 1", got)
+	}
+}
+
+// TestSweepMetricsDeterminism: two identical sweeps on fresh registries
+// must produce byte-identical /metrics and /debug/vars scrapes — the
+// contract that keeps telemetry out of the determinism suite's way.
+// Wall-clock values never enter the registry (they live on Result.Wall).
+func TestSweepMetricsDeterminism(t *testing.T) {
+	scrape := func() (string, string) {
+		reg := metrics.New()
+		cfgs := []config.GPU{testCfg("cfgA"), testCfg("cfgB")}
+		apps := []workloads.App{testApp("app0", 300), testApp("app1", 500)}
+		res, err := Run(context.Background(), cfgs, nil, apps, Options{
+			Workers: 4,
+			Metrics: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete() {
+			t.Fatal("sweep faulted")
+		}
+		var prom, vars bytes.Buffer
+		if err := reg.WritePrometheus(&prom); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.WriteJSON(&vars); err != nil {
+			t.Fatal(err)
+		}
+		return prom.String(), vars.String()
+	}
+	p1, v1 := scrape()
+	p2, v2 := scrape()
+	if p1 != p2 {
+		t.Errorf("Prometheus scrapes differ:\n--- run1 ---\n%s\n--- run2 ---\n%s", p1, p2)
+	}
+	if v1 != v2 {
+		t.Errorf("JSON scrapes differ:\n--- run1 ---\n%s\n--- run2 ---\n%s", v1, v2)
+	}
+	if p1 == "" || v1 == "" {
+		t.Error("scrapes are empty")
+	}
+}

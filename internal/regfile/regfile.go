@@ -247,6 +247,35 @@ func (c *Collector) QueueLen(b int) int {
 	return n
 }
 
+// Backlogged reports whether any bank has a queued normal (non-stolen)
+// read — the signature the issue stage uses to attribute a
+// no-free-collector-unit stall to bank conflicts rather than plain CU
+// exhaustion (the CPI stack's bank-conflict component).
+func (c *Collector) Backlogged() bool {
+	for b := range c.queues {
+		for i := range c.queues[b] {
+			if !c.queues[b][i].stolen {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// BlockedOnMem reports whether a fully collected, non-stolen collector
+// unit is staged with a memory-class instruction — its operands are
+// read but the LSU would not accept it, so CU exhaustion with quiet
+// banks is memory backpressure (the CPI stack's memory component).
+func (c *Collector) BlockedOnMem() bool {
+	for i := range c.cus {
+		u := &c.cus[i]
+		if u.Valid && u.Pending == 0 && !u.Stolen && u.Instr.Op.UnitOf() == isa.ClassMEM {
+			return true
+		}
+	}
+	return false
+}
+
 // DelayedQueueLen returns the bank-b queue length as observed delay
 // cycles ago (0 = current). Requests older than the ring's capacity
 // saturate to the oldest recorded value.

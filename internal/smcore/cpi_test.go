@@ -1,0 +1,96 @@
+package smcore
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/program"
+	"repro/internal/stats"
+)
+
+// FuzzCPIStack is the property test behind the top-down accounting
+// contract (internal/stats/cpi.go): for arbitrary programs, block
+// shapes, and both the GTO and RBA schedulers, every sub-core's
+// attributed cycles sum bit-exactly to the ticks its issue stage ran —
+// no cycle double-charged, none dropped.
+func FuzzCPIStack(f *testing.F) {
+	f.Add([]byte{4, 8, 1, 2, 3, 0, 1, 2}, uint8(4), uint8(16))
+	f.Add([]byte{3, 5, 3, 7, 5, 9}, uint8(9), uint8(24))
+	f.Add([]byte{9, 4, 4, 4, 2, 2, 1, 3, 0, 1}, uint8(12), uint8(32))
+	f.Fuzz(func(t *testing.T, code []byte, warps, regs uint8) {
+		nw := int(warps%16) + 1
+		rpt := int(regs%48) + 8
+		b := program.NewBuilder()
+		emitted := 0
+		for i := 0; i+1 < len(code) && emitted < 24; i += 2 {
+			op := code[i] % 6
+			r := isa.Reg(code[i+1]%16 + 4)
+			switch op {
+			case 0:
+				b.FMA(r, 1, 2, r)
+			case 1:
+				b.IADD(r, 1, r)
+			case 2:
+				b.SFU(r, r)
+			case 3:
+				b.LDG(r, 1, isa.MemTrait{Pattern: isa.PatCoalesced, Footprint: 1 << 14, Shared: true})
+			case 4:
+				b.Tensor(r, 1, 2, r)
+			case 5:
+				b.Bar()
+			}
+			emitted++
+		}
+		if emitted == 0 {
+			return
+		}
+		p := b.MustBuild()
+
+		for _, sched := range []config.WarpSched{config.SchedGTO, config.SchedRBA} {
+			cfg := config.VoltaV100()
+			cfg.NumSMs = 1
+			cfg.WarpScheduler = sched
+			run := stats.NewRun(1, cfg.SubCoresPerSM)
+			sm := NewSM(0, &cfg, mem.NewHierarchy(cfg), run)
+
+			progs := make([]*program.Program, nw)
+			for i := range progs {
+				progs[i] = p
+			}
+			spec := &BlockSpec{Programs: progs, RegsPerThread: rpt}
+			if !sm.CanAccept(spec) {
+				return
+			}
+			if err := sm.Allocate(spec); err != nil {
+				t.Fatalf("sched %v: Allocate: %v", sched, err)
+			}
+			var ticks int64
+			for c := int64(0); ; c++ {
+				sm.Tick(c)
+				ticks++
+				if sm.Drained() {
+					break
+				}
+				if c > 500000 {
+					t.Fatalf("sched %v: SM failed to drain", sched)
+				}
+			}
+			for j := range run.SMs[0].SubCores {
+				sc := &run.SMs[0].SubCores[j]
+				st := sc.CPI()
+				for comp, v := range st {
+					if v < 0 {
+						t.Fatalf("sched %v: sub-core %d: negative %s = %d",
+							sched, j, stats.CPIComponent(comp), v)
+					}
+				}
+				if st.Total() != ticks {
+					t.Fatalf("sched %v: sub-core %d: CPI total %d != %d ticks (stack %v)",
+						sched, j, st.Total(), ticks, st)
+				}
+			}
+		}
+	})
+}

@@ -323,6 +323,7 @@ func (sc *SubCore) issueTick(now int64) {
 	issued := 0
 	blockedCU := false
 	blockedEU := false
+	blockedMem := false
 	for port := 0; port < sc.cfg.SchedulersPerSubCore; port++ {
 		for len(sc.cands) > 0 {
 			pick := sc.sched.Pick(sc.cands)
@@ -337,7 +338,7 @@ func (sc *SubCore) issueTick(now int64) {
 			// Captured before tryIssue: an EXIT can retire the block and
 			// clear the slot before the event is emitted.
 			wIdx, op := sc.slots[cand.Slot], w.IBuf[0].Op
-			ok, cu, euBusy := sc.tryIssue(w, now)
+			ok, cu, euBusy, memBusy := sc.tryIssue(w, now)
 			if ok {
 				sc.sched.NotifyIssued(cand.Slot)
 				sc.st.Issued++
@@ -350,24 +351,45 @@ func (sc *SubCore) issueTick(now int64) {
 			}
 			blockedCU = blockedCU || cu
 			blockedEU = blockedEU || euBusy
+			blockedMem = blockedMem || memBusy
 		}
 	}
 	if issued > 0 {
+		sc.st.IssueCycles++
 		return
 	}
-	// Attribute the stall (Fig. 1's effect decomposition).
+	// Attribute the stall (Fig. 1's effect decomposition). Exactly one
+	// StallCycles bucket is charged per non-issue cycle — with the
+	// refined sub-counters below, this is what makes the CPI stack
+	// (stats.SubCore.CPI) sum bit-exactly to total cycles.
 	var reason stats.StallReason
 	switch {
 	case blockedCU:
 		reason = stats.StallNoCU
-	case blockedEU:
+		// Split CU exhaustion by its upstream cause: backlogged bank
+		// queues mean the CUs are hostage to bank conflicts; a collected
+		// memory instruction stuck in a CU means LSU backpressure; quiet
+		// banks and no stuck memory op is plain structural shortage.
+		switch {
+		case sc.coll.Backlogged():
+			sc.st.ConflictNoCU++
+		case sc.coll.BlockedOnMem():
+			sc.st.MemNoCU++
+		}
+	case blockedEU || blockedMem:
 		reason = stats.StallEUBusy
+		if blockedMem {
+			sc.st.MemEUBusy++
+		}
 	case cen.hazard > 0:
 		reason = stats.StallScoreboard
 	case cen.atBarrier > 0 && cen.active == 0:
 		reason = stats.StallBarrier
 	default:
 		reason = stats.StallNoWarp
+		if sc.sm.residentWarps == 0 {
+			sc.st.SMIdleCycles++
+		}
 		if cen.resident > 0 && cen.finished == cen.resident {
 			sc.st.IdleAllFinished++
 		}
@@ -378,22 +400,24 @@ func (sc *SubCore) issueTick(now int64) {
 	}
 }
 
-// tryIssue attempts to issue warp w's IBuf[0]. Returns ok, plus whether
-// the failure was a missing collector unit or a busy execution port.
-func (sc *SubCore) tryIssue(w *Warp, now int64) (ok, noCU, euBusy bool) {
+// tryIssue attempts to issue warp w's IBuf[0]. Returns ok, plus which
+// resource blocked the failure: a missing collector unit, a busy
+// compute execution port, or a full LSU queue (the memory path — kept
+// distinct so the CPI stack can attribute the cycle to memory).
+func (sc *SubCore) tryIssue(w *Warp, now int64) (ok, noCU, euBusy, memBusy bool) {
 	in := w.IBuf[0]
 	switch {
 	case in.Op.IsExit():
 		sc.consume(w)
 		sc.sm.warpExited(w)
-		return true, false, false
+		return true, false, false, false
 	case in.Op.IsBarrier():
 		sc.consume(w)
 		sc.sm.warpAtBarrier(w)
-		return true, false, false
+		return true, false, false, false
 	case in.Op == isa.OpNOP:
 		sc.consume(w)
-		return true, false, false
+		return true, false, false, false
 	}
 	if !in.HasSrc() {
 		// Zero-source, register-writing instructions (LDC) bypass the
@@ -410,32 +434,32 @@ func (sc *SubCore) tryIssue(w *Warp, now int64) (ok, noCU, euBusy bool) {
 			w.SBSet(in.Dst)
 		}
 		sc.consume(w)
-		return true, false, false
+		return true, false, false, false
 	}
 	cuIdx := sc.coll.FreeCU()
 	if cuIdx < 0 {
-		return false, true, false
+		return false, true, false, false
 	}
 	sc.coll.Allocate(cuIdx, sc.slotIndex(w), int32(w.SchedSlot), in, int(w.BankOff), false)
 	if in.Dst.Valid() {
 		w.SBSet(in.Dst)
 	}
 	sc.consume(w)
-	return true, false, false
+	return true, false, false, false
 }
 
 // issueDirect handles zero-source ops that still execute (LDC and
 // degenerate ALU ops): they skip the collector but need their unit.
-func (sc *SubCore) issueDirect(w *Warp, in *isa.Instr, now int64) (ok, noCU, euBusy bool) {
+func (sc *SubCore) issueDirect(w *Warp, in *isa.Instr, now int64) (ok, noCU, euBusy, memBusy bool) {
 	class := in.Op.UnitOf()
 	if class == isa.ClassMEM {
 		if !sc.sm.lsu.enqueue(sc.slotIndex(w), sc.id, *in) {
-			return false, false, true
+			return false, false, false, true
 		}
 	} else if class != isa.ClassNone {
 		u := &sc.eu[class]
 		if !u.ready(now) {
-			return false, false, true
+			return false, false, true, false
 		}
 		u.accept(now)
 		if in.Dst.Valid() {
@@ -446,7 +470,7 @@ func (sc *SubCore) issueDirect(w *Warp, in *isa.Instr, now int64) (ok, noCU, euB
 		w.SBSet(in.Dst)
 	}
 	sc.consume(w)
-	return true, false, false
+	return true, false, false, false
 }
 
 // slotIndex returns the warp's index in the SM warp table.

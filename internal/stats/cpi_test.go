@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// subCoreFromCounters builds a SubCore whose refined counters are valid
+// subsets of their StallCycles buckets, from arbitrary fuzz bytes.
+func subCoreFromCounters(issue, noWarp, sb, noCU, euBusy, bar, confl, memNoCU, memEU, smIdle uint8) SubCore {
+	var s SubCore
+	s.IssueCycles = int64(issue)
+	s.StallCycles[StallNoWarp] = int64(noWarp)
+	s.StallCycles[StallScoreboard] = int64(sb)
+	s.StallCycles[StallNoCU] = int64(noCU)
+	s.StallCycles[StallEUBusy] = int64(euBusy)
+	s.StallCycles[StallBarrier] = int64(bar)
+	// Clamp refinements into their parent buckets (the simulator
+	// guarantees this by charging both at the same attribution site).
+	s.ConflictNoCU = min64(int64(confl), s.StallCycles[StallNoCU])
+	s.MemNoCU = min64(int64(memNoCU), s.StallCycles[StallNoCU]-s.ConflictNoCU)
+	s.MemEUBusy = min64(int64(memEU), s.StallCycles[StallEUBusy])
+	s.SMIdleCycles = min64(int64(smIdle), s.StallCycles[StallNoWarp])
+	return s
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Property: for any counter set respecting the subset contract, the CPI
+// stack is non-negative and totals IssueCycles + all stall cycles.
+func TestCPISubsetProperty(t *testing.T) {
+	f := func(issue, noWarp, sb, noCU, euBusy, bar, confl, memNoCU, memEU, smIdle uint8) bool {
+		s := subCoreFromCounters(issue, noWarp, sb, noCU, euBusy, bar, confl, memNoCU, memEU, smIdle)
+		st := s.CPI()
+		var stalls int64
+		for r := StallReason(1); r < NumStallReasons; r++ {
+			stalls += s.StallCycles[r]
+		}
+		if st.Total() != s.IssueCycles+stalls {
+			return false
+		}
+		for _, v := range st {
+			if v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCPIMapping(t *testing.T) {
+	var s SubCore
+	s.IssueCycles = 10
+	s.StallCycles[StallNoCU] = 7
+	s.ConflictNoCU = 4
+	s.MemNoCU = 2
+	s.StallCycles[StallEUBusy] = 5
+	s.MemEUBusy = 3
+	s.StallCycles[StallScoreboard] = 6
+	s.StallCycles[StallBarrier] = 1
+	s.StallCycles[StallNoWarp] = 9
+	s.SMIdleCycles = 8
+	st := s.CPI()
+	want := CPIStack{}
+	want[CPIIssue] = 10
+	want[CPIBankConflict] = 4
+	want[CPIMemory] = 2 + 3
+	want[CPICUFull] = (7 - 4 - 2) + (5 - 3)
+	want[CPIScoreboard] = 6
+	want[CPIBarrier] = 1
+	want[CPIImbalance] = 9 - 8
+	want[CPIIdle] = 8
+	if st != want {
+		t.Errorf("CPI() = %v, want %v", st, want)
+	}
+	if st.Total() != 38 {
+		t.Errorf("Total = %d, want 38", st.Total())
+	}
+}
+
+func TestCPIStackHelpers(t *testing.T) {
+	a := CPIStack{1, 2, 3}
+	b := CPIStack{10, 0, 0}
+	a.AddTo(&b)
+	if b[0] != 11 || b[1] != 2 || b[2] != 3 {
+		t.Errorf("AddTo = %v", b)
+	}
+	sh := b.Shares()
+	var sum float64
+	for _, v := range sh {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("Shares sum = %v, want 1", sum)
+	}
+	var empty CPIStack
+	if s := empty.Shares(); s != [NumCPIComponents]float64{} {
+		t.Errorf("empty Shares = %v, want zeros", s)
+	}
+}
+
+func TestCPIComponentString(t *testing.T) {
+	seen := make(map[string]bool, NumCPIComponents)
+	for c := CPIComponent(0); c < NumCPIComponents; c++ {
+		name := c.String()
+		if name == "" || seen[name] {
+			t.Errorf("CPIComponent(%d) name %q empty or duplicate", c, name)
+		}
+		seen[name] = true
+	}
+	if got := CPIComponent(200).String(); got != "cpi(200)" {
+		t.Errorf("out-of-range = %q", got)
+	}
+}
+
+func TestCheckCPI(t *testing.T) {
+	r := NewRun(1, 2)
+	r.Cycles = 100
+	for j := range r.SMs[0].SubCores {
+		sc := &r.SMs[0].SubCores[j]
+		sc.IssueCycles = 60
+		sc.StallCycles[StallNoCU] = 30
+		sc.ConflictNoCU = 20
+		sc.StallCycles[StallNoWarp] = 10
+		sc.SMIdleCycles = 4
+	}
+	if err := r.CheckCPI(); err != nil {
+		t.Fatalf("valid run: %v", err)
+	}
+	// A missing cycle must be caught.
+	r.SMs[0].SubCores[1].IssueCycles = 59
+	err := r.CheckCPI()
+	if err == nil || !strings.Contains(err.Error(), "sub-core 1") {
+		t.Fatalf("short stack not caught: %v", err)
+	}
+	// A refinement exceeding its parent bucket must be caught as a
+	// negative residual.
+	r.SMs[0].SubCores[1].IssueCycles = 60
+	r.SMs[0].SubCores[0].ConflictNoCU = 31
+	err = r.CheckCPI()
+	if err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("negative component not caught: %v", err)
+	}
+}

@@ -68,6 +68,30 @@ type SubCore struct {
 	// but the block had not yet been released (the static-assignment
 	// pathology of Section III-B).
 	IdleAllFinished int64
+
+	// The remaining counters refine the stall taxonomy into the top-down
+	// CPI stack (cpi.go). Each is a strict subset of one StallCycles
+	// bucket, carved out at attribution time by the issue stage, so the
+	// stack's components always sum exactly to total cycles.
+
+	// IssueCycles counts cycles in which this sub-core issued at least
+	// one instruction (the complement of all StallCycles buckets).
+	IssueCycles int64
+	// ConflictNoCU is the subset of StallCycles[StallNoCU] where a bank
+	// read queue was backlogged — collector units held hostage by bank
+	// conflicts, the paper's first partitioning effect.
+	ConflictNoCU int64
+	// MemNoCU is the subset of StallCycles[StallNoCU] where the banks
+	// were quiet but a collected memory instruction could not dispatch —
+	// LSU backpressure surfacing as CU exhaustion.
+	MemNoCU int64
+	// MemEUBusy is the subset of StallCycles[StallEUBusy] where the
+	// blocked port was the memory path (direct issue into a full LSU).
+	MemEUBusy int64
+	// SMIdleCycles is the subset of StallCycles[StallNoWarp] where the
+	// whole SM held no resident warps — true idleness, as opposed to
+	// this sub-core sitting empty while siblings still run (imbalance).
+	SMIdleCycles int64
 }
 
 // SM aggregates an SM's sub-cores plus SM-level memory counters.
@@ -236,35 +260,43 @@ func (r *Run) MeanReadsPerCycle() float64 {
 	return float64(s) / float64(len(r.ReadsPerCycle))
 }
 
-// CoV returns the coefficient of variation (population stddev / mean) of
-// vals; 0 when the mean is 0.
+// CoV returns the coefficient of variation (population stddev / mean)
+// of vals; 0 when the mean is 0, on empty input, and on an all-zero
+// vector. Non-finite values (NaN, ±Inf) are skipped — one poisoned
+// sample must not turn a whole report column into NaN.
 func CoV(vals []float64) float64 {
-	if len(vals) == 0 {
+	var mean float64
+	var n int
+	for _, v := range vals {
+		if isFinite(v) {
+			mean += v
+			n++
+		}
+	}
+	if n == 0 {
 		return 0
 	}
-	var mean float64
-	for _, v := range vals {
-		mean += v
-	}
-	mean /= float64(len(vals))
+	mean /= float64(n)
 	if mean == 0 {
 		return 0
 	}
 	var ss float64
 	for _, v := range vals {
-		d := v - mean
-		ss += d * d
+		if isFinite(v) {
+			d := v - mean
+			ss += d * d
+		}
 	}
-	return math.Sqrt(ss/float64(len(vals))) / mean
+	return math.Sqrt(ss/float64(n)) / mean
 }
 
-// GeoMean returns the geometric mean of positive values; values <= 0 are
-// skipped (speedup tables never contain them).
+// GeoMean returns the geometric mean of positive finite values; values
+// <= 0, NaN, and ±Inf are skipped (speedup tables never contain them).
 func GeoMean(vals []float64) float64 {
 	var s float64
 	var n int
 	for _, v := range vals {
-		if v > 0 {
+		if v > 0 && isFinite(v) {
 			s += math.Log(v)
 			n++
 		}
@@ -273,6 +305,11 @@ func GeoMean(vals []float64) float64 {
 		return 0
 	}
 	return math.Exp(s / float64(n))
+}
+
+// isFinite reports v is neither NaN nor ±Inf.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // Mean returns the arithmetic mean, 0 for empty input.
@@ -288,14 +325,22 @@ func Mean(vals []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0..100) by nearest-rank on a
-// copy of vals.
+// copy of vals. NaN values are dropped before ranking (sort.Float64s
+// leaves them in unspecified positions, which would make the rank
+// nondeterministic); 0 on empty input or when every value is NaN. A NaN
+// p is treated as 0 (the minimum).
 func Percentile(vals []float64, p float64) float64 {
-	if len(vals) == 0 {
+	cp := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		if !math.IsNaN(v) {
+			cp = append(cp, v)
+		}
+	}
+	if len(cp) == 0 {
 		return 0
 	}
-	cp := append([]float64(nil), vals...)
 	sort.Float64s(cp)
-	if p <= 0 {
+	if p <= 0 || math.IsNaN(p) {
 		return cp[0]
 	}
 	if p >= 100 {

@@ -181,6 +181,112 @@ func TestStallReasonString(t *testing.T) {
 	}
 }
 
+// TestPercentileEdgeCases pins the contract on degenerate input: NaN
+// values are dropped before ranking, NaN/negative p clamps to the
+// minimum, p >= 100 to the maximum, and an empty (or all-NaN) sample
+// yields 0.
+func TestPercentileEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		vals []float64
+		p    float64
+		want float64
+	}{
+		{"empty", nil, 50, 0},
+		{"all-nan", []float64{nan, nan}, 50, 0},
+		{"nan-dropped", []float64{nan, 3, nan, 1}, 100, 3},
+		{"nan-dropped-min", []float64{nan, 3, 1}, 0, 1},
+		{"negative-p", []float64{5, 1, 9}, -10, 1},
+		{"nan-p", []float64{5, 1, 9}, nan, 1},
+		{"over-100", []float64{5, 1, 9}, 150, 9},
+		{"single", []float64{7}, 50, 7},
+		{"inf-kept", []float64{1, math.Inf(1)}, 100, math.Inf(1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Percentile(tc.vals, tc.p); got != tc.want && !almost(got, tc.want) {
+				t.Errorf("Percentile(%v, %v) = %v, want %v", tc.vals, tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHistogramEdgeCases pins the guards on degenerate bin shapes.
+func TestHistogramEdgeCases(t *testing.T) {
+	cases := []struct {
+		name         string
+		vals         []uint16
+		nbins, maxV  int
+		wantLen      int
+		wantLastBin  int64
+		wantFirstBin int64
+	}{
+		{"empty", nil, 4, 100, 4, 0, 0},
+		{"zero-bins-clamped", []uint16{1, 2}, 0, 100, 1, 2, 2},
+		{"negative-bins-clamped", []uint16{1}, -3, 100, 1, 1, 1},
+		{"zero-max-clamped", []uint16{0, 1, 9}, 2, 0, 2, 2, 1},
+		{"overflow-clamps-to-top", []uint16{500}, 4, 100, 4, 1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := Histogram(tc.vals, tc.nbins, tc.maxV)
+			if len(h) != tc.wantLen {
+				t.Fatalf("len = %d, want %d", len(h), tc.wantLen)
+			}
+			if h[len(h)-1] != tc.wantLastBin {
+				t.Errorf("last bin = %d, want %d", h[len(h)-1], tc.wantLastBin)
+			}
+			if h[0] != tc.wantFirstBin && tc.wantLen > 1 {
+				t.Errorf("first bin = %d, want %d", h[0], tc.wantFirstBin)
+			}
+			var total int64
+			for _, c := range h {
+				total += c
+			}
+			if total != int64(len(tc.vals)) {
+				t.Errorf("total = %d, want %d (no value may be dropped)", total, len(tc.vals))
+			}
+		})
+	}
+}
+
+// TestCoVNonFinite pins that NaN/±Inf samples are excluded from both
+// passes instead of poisoning the mean, and all-zero input yields 0.
+func TestCoVNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name string
+		vals []float64
+		want float64
+	}{
+		{"all-zero", []float64{0, 0, 0}, 0},
+		{"nan-skipped", []float64{5, nan, 5}, 0},
+		{"inf-skipped", []float64{0, 4, inf, 0, 4, math.Inf(-1)}, 1},
+		{"all-non-finite", []float64{nan, inf}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := CoV(tc.vals)
+			if math.IsNaN(got) || !almost(got, tc.want) {
+				t.Errorf("CoV(%v) = %v, want %v", tc.vals, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestGeoMeanNonFinite pins that NaN/±Inf are skipped like nonpositive
+// values.
+func TestGeoMeanNonFinite(t *testing.T) {
+	got := GeoMean([]float64{2, math.NaN(), 8, math.Inf(1), -3})
+	if !almost(got, 4) {
+		t.Errorf("GeoMean = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{math.NaN(), math.Inf(-1)}); got != 0 {
+		t.Errorf("GeoMean all-non-finite = %v, want 0", got)
+	}
+}
+
 // Property: CoV is scale-invariant (CoV(k*x) == CoV(x) for k > 0).
 func TestCoVScaleInvariantProperty(t *testing.T) {
 	f := func(a, b, c uint8, k uint8) bool {
