@@ -64,6 +64,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited)")
 		maxCyc   = flag.Int64("max-cycles", 0, "per-kernel simulated-cycle cap (0 = simulator default)")
 		metAddr  = flag.String("metrics-addr", "", "serve live telemetry on this address (e.g. 127.0.0.1:9090; empty = off)")
+		noFF     = flag.Bool("no-fastforward", false, "disable the idle-cycle fast-forward (debugging escape hatch; results are identical, only slower)")
 	)
 	flag.Parse()
 
@@ -128,6 +129,9 @@ func main() {
 	}
 	if *steal {
 		cfg = cfg.WithBankStealing()
+	}
+	if *noFF {
+		cfg = cfg.WithNoFastForward()
 	}
 	cfg.RBAScoreLatency = *rbaLat
 

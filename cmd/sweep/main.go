@@ -71,6 +71,7 @@ func main() {
 		diag      = flag.String("diag", "", "write flight-recorder dumps for faulted cells to this directory")
 		metricsAt = flag.String("metrics-addr", "", "serve live telemetry on this address (e.g. 127.0.0.1:9090; empty = off)")
 		benchOut  = flag.String("bench-out", "", "write the completed matrix as a performance baseline JSON (for benchdiff)")
+		noFF      = flag.Bool("no-fastforward", false, "disable the idle-cycle fast-forward (debugging escape hatch; results are identical, only slower)")
 	)
 	flag.Parse()
 
@@ -85,6 +86,9 @@ func main() {
 		c, err := parseConfig(tok, *sms)
 		if err != nil {
 			fatal(err)
+		}
+		if *noFF {
+			c = c.WithNoFastForward()
 		}
 		cfgs = append(cfgs, c)
 		names = append(names, tok)

@@ -1,0 +1,59 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestFastForwardInert proves the run loop's idle-cycle fast-forward is
+// observationally inert on real workloads: for one application from
+// every benchmark suite, under both GTO and RBA scheduling, the full
+// statistics object serializes byte-identically with fast-forward
+// enabled and disabled.
+func TestFastForwardInert(t *testing.T) {
+	suites, err := Suites()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"gto", VoltaV100().WithSMs(2)},
+		{"rba", VoltaV100().WithSMs(2).WithScheduler(SchedRBA)},
+	}
+	for _, suite := range suites {
+		apps, err := AppsBySuite(suite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := apps[0]
+		for _, tc := range cfgs {
+			tc := tc
+			app := app
+			t.Run(suite+"/"+tc.name+"/"+app.Name, func(t *testing.T) {
+				t.Parallel()
+				fast, err := Run(tc.cfg, app)
+				if err != nil {
+					t.Fatal(err)
+				}
+				slow, err := Run(tc.cfg.WithNoFastForward(), app)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fj, err := json.Marshal(fast)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sj, err := json.Marshal(slow)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(fj, sj) {
+					t.Errorf("fast-forward changed results\n ff:  %.300s\n off: %.300s", fj, sj)
+				}
+			})
+		}
+	}
+}

@@ -172,6 +172,14 @@ type GPU struct {
 	// TraceRingCap events.
 	TraceRingCap int
 
+	// NoFastForward disables the run loop's idle-cycle fast-forward: the
+	// event-driven skip over cycles in which no SM could issue, decode,
+	// dispatch, or write back. Fast-forward is provably inert — results
+	// are byte-identical either way (TestFastForwardDifferential) — so
+	// the flag exists only as a debugging escape hatch and for
+	// differential testing; leave it false for speed.
+	NoFastForward bool
+
 	// Seed drives every stochastic choice (shuffle permutations, random
 	// memory patterns) so runs are reproducible.
 	Seed int64
@@ -336,6 +344,15 @@ func (g GPU) WithSMs(n int) GPU {
 func (g GPU) WithBankStealing() GPU {
 	g.BankStealing = true
 	g.Name = g.Name + "+steal"
+	return g
+}
+
+// WithNoFastForward returns a copy with idle-cycle fast-forward disabled
+// (the differential-testing escape hatch; results are byte-identical,
+// only wall-clock changes). The Name is deliberately untouched: the
+// configuration simulates the same machine.
+func (g GPU) WithNoFastForward() GPU {
+	g.NoFastForward = true
 	return g
 }
 

@@ -1,0 +1,320 @@
+package gpu
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// memLatencyProgram: dependent divergent global loads — long DRAM
+// round-trips with nothing issuable in between, the idle-span shape the
+// fast-forward path exists for.
+func memLatencyProgram(n int) *program.Program {
+	b := program.NewBuilder()
+	b.Loop(int64(n), func(lb *program.Builder) {
+		lb.LDG(4, 1, isa.MemTrait{Pattern: isa.PatRandom, Footprint: 1 << 26, Divergence: 4})
+		lb.FMA(5, 4, 4, 5) // consumes the load: serializes on memory
+	})
+	return b.MustBuild()
+}
+
+// ffDiffRun runs the same kernel on cfg with fast-forward enabled and
+// disabled, with every per-cycle side channel turned on (register-read
+// trace, issue timeline), and returns both devices and errors.
+func ffDiffRun(t *testing.T, cfg config.GPU, mk func() *Kernel, maxCycles int64) (fast, slow *GPU, fastErr, slowErr error) {
+	t.Helper()
+	run := func(c config.GPU) (*GPU, error) {
+		g, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.TraceReads(true)
+		g.TraceIssue(100)
+		return g, g.RunKernel(mk(), maxCycles)
+	}
+	fast, fastErr = run(cfg)
+	slow, slowErr = run(cfg.WithNoFastForward())
+	return fast, slow, fastErr, slowErr
+}
+
+// TestFastForwardByteIdentity: the tentpole invariant. On a memory-bound
+// kernel under every warp scheduler, the complete statistics object —
+// cycles, CPI stacks, occupancy, bank counters, read trace, issue
+// timeline — must be deeply identical with fast-forward on and off, and
+// the fast path must actually have skipped cycles.
+func TestFastForwardByteIdentity(t *testing.T) {
+	base := config.VoltaV100()
+	base.NumSMs = 2
+	cfgs := []struct {
+		name string
+		cfg  config.GPU
+	}{
+		{"gto", base},
+		{"lrr", base.WithScheduler(config.SchedLRR)},
+		{"rba", base.WithScheduler(config.SchedRBA)},
+	}
+	p := memLatencyProgram(64)
+	mk := func() *Kernel {
+		return &Kernel{Name: "mem-idle", Blocks: 3, WarpsPerBlock: 4, RegsPerThread: 16,
+			WarpProgram: func(b, w int) *program.Program { return p }}
+	}
+	for _, tc := range cfgs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			fast, slow, fe, se := ffDiffRun(t, tc.cfg, mk, 0)
+			if fe != nil || se != nil {
+				t.Fatalf("run errors: ff=%v off=%v", fe, se)
+			}
+			if fast.FastForwardedCycles() == 0 {
+				t.Fatal("fast-forward never engaged on a memory-bound kernel")
+			}
+			if slow.FastForwardedCycles() != 0 {
+				t.Fatal("NoFastForward device still skipped cycles")
+			}
+			if !reflect.DeepEqual(fast.Run(), slow.Run()) {
+				t.Errorf("stats diverge:\n ff:  %+v\n off: %+v", fast.Run(), slow.Run())
+			}
+			if err := fast.Run().CheckCPI(); err != nil {
+				t.Errorf("CPI stack broken after fast-forward: %v", err)
+			}
+		})
+	}
+}
+
+// TestFastForwardConcurrentIdentity: heterogeneous concurrent kernels
+// keep the thread-block scheduler's pending queue live across idle
+// spans; skipped placement attempts must be no-ops (failed rounds leave
+// no trace) for the runs to match.
+func TestFastForwardConcurrentIdentity(t *testing.T) {
+	big := memLatencyProgram(48)
+	small := memLatencyProgram(12)
+	mks := func() []*Kernel {
+		return []*Kernel{
+			{Name: "big", Blocks: 4, WarpsPerBlock: 24, RegsPerThread: 16,
+				WarpProgram: func(b, w int) *program.Program { return big }},
+			{Name: "small", Blocks: 6, WarpsPerBlock: 8, RegsPerThread: 16,
+				WarpProgram: func(b, w int) *program.Program { return small }},
+		}
+	}
+	run := func(c config.GPU) *GPU {
+		g, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.RunConcurrent(mks(), 0); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	fast := run(tinyCfg())
+	slow := run(tinyCfg().WithNoFastForward())
+	if fast.FastForwardedCycles() == 0 {
+		t.Fatal("fast-forward never engaged")
+	}
+	if !reflect.DeepEqual(fast.Run(), slow.Run()) {
+		t.Errorf("concurrent stats diverge:\n ff:  %+v\n off: %+v", fast.Run(), slow.Run())
+	}
+}
+
+// TestFastForwardMonitorHeartbeat: skips are capped at heartbeat
+// boundaries, so a monitored run must publish the same heartbeat
+// trajectory endpoint and identical stats whether or not the loop
+// fast-forwards across multiple monitorPeriod boundaries.
+func TestFastForwardMonitorHeartbeat(t *testing.T) {
+	p := memLatencyProgram(256)
+	mk := func() *Kernel {
+		return &Kernel{Name: "beat-ff", Blocks: 1, WarpsPerBlock: 2, RegsPerThread: 8,
+			WarpProgram: func(b, w int) *program.Program { return p }}
+	}
+	run := func(c config.GPU) (*GPU, *Monitor) {
+		g, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mon := new(Monitor)
+		g.SetMonitor(mon)
+		if err := g.RunKernel(mk(), 0); err != nil {
+			t.Fatal(err)
+		}
+		return g, mon
+	}
+	fast, fmon := run(tinyCfg())
+	slow, smon := run(tinyCfg().WithNoFastForward())
+	if fast.Run().Cycles <= 2*monitorPeriod {
+		t.Fatalf("run too short (%d cycles) to cross heartbeat boundaries", fast.Run().Cycles)
+	}
+	if fast.FastForwardedCycles() == 0 {
+		t.Fatal("fast-forward never engaged")
+	}
+	if fmon.Cycle() == 0 {
+		t.Error("heartbeat never advanced under fast-forward")
+	}
+	if fmon.Cycle() != smon.Cycle() {
+		t.Errorf("final heartbeat %d (ff) != %d (off)", fmon.Cycle(), smon.Cycle())
+	}
+	if !reflect.DeepEqual(fast.Run(), slow.Run()) {
+		t.Errorf("stats diverge across heartbeat boundaries")
+	}
+}
+
+// TestFastForwardDeadlineIdentity: a skip must never jump past the cycle
+// limit — CycleLimitError fires at the identical cycle, with identical
+// launch progress, either way.
+func TestFastForwardDeadlineIdentity(t *testing.T) {
+	p := memLatencyProgram(1 << 12)
+	mk := func() *Kernel {
+		return &Kernel{Name: "deadline", Blocks: 2, WarpsPerBlock: 4, RegsPerThread: 8,
+			WarpProgram: func(b, w int) *program.Program { return p }}
+	}
+	const limit = 3000
+	fast, slow, fe, se := ffDiffRun(t, tinyCfg(), mk, limit)
+	var fcle, scle *CycleLimitError
+	if !errors.As(fe, &fcle) || !errors.As(se, &scle) {
+		t.Fatalf("expected CycleLimitError from both runs, got ff=%v off=%v", fe, se)
+	}
+	if fast.FastForwardedCycles() == 0 {
+		t.Fatal("fast-forward never engaged before the deadline")
+	}
+	if !reflect.DeepEqual(fcle, scle) {
+		t.Errorf("CycleLimitError diverges:\n ff:  %+v\n off: %+v", fcle, scle)
+	}
+	if fast.Run().Cycles != slow.Run().Cycles || fast.Run().Cycles != limit {
+		t.Errorf("cycles at deadline: ff=%d off=%d want %d",
+			fast.Run().Cycles, slow.Run().Cycles, limit)
+	}
+	if !reflect.DeepEqual(fast.Run(), slow.Run()) {
+		t.Errorf("stats diverge at the deadline")
+	}
+}
+
+// TestFastForwardArmedCancelIdentity: a cancellation armed before launch
+// is observed at the first heartbeat boundary — the skip cap guarantees
+// the loop stops at the same cycle the ticked loop would.
+func TestFastForwardArmedCancelIdentity(t *testing.T) {
+	p := memLatencyProgram(1 << 12)
+	mk := func() *Kernel {
+		return &Kernel{Name: "armed", Blocks: 1, WarpsPerBlock: 2, RegsPerThread: 8,
+			WarpProgram: func(b, w int) *program.Program { return p }}
+	}
+	run := func(c config.GPU) *CancelError {
+		g, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mon := new(Monitor)
+		mon.Cancel("armed before launch")
+		g.SetMonitor(mon)
+		err = g.RunKernel(mk(), 0)
+		var ce *CancelError
+		if !errors.As(err, &ce) {
+			t.Fatalf("expected CancelError, got %v", err)
+		}
+		return ce
+	}
+	fce := run(tinyCfg())
+	sce := run(tinyCfg().WithNoFastForward())
+	if fce.Cycle != monitorPeriod {
+		t.Errorf("armed cancel observed at cycle %d, want first boundary %d", fce.Cycle, monitorPeriod)
+	}
+	if !reflect.DeepEqual(fce, sce) {
+		t.Errorf("CancelError diverges:\n ff:  %+v\n off: %+v", fce, sce)
+	}
+}
+
+// TestOccupancyAveragesAllSMs: occupancy is sampled on every SM, not
+// just SM 0. One 8-warp block on a 4-SM device occupies a single SM, so
+// the device-wide mean must be at most 8/4 = 2 — the old SM-0-only
+// sampling reported ~8.
+func TestOccupancyAveragesAllSMs(t *testing.T) {
+	cfg := config.VoltaV100()
+	cfg.NumSMs = 4
+	p := fmaProgram(256, 2)
+	k := &Kernel{Name: "occ", Blocks: 1, WarpsPerBlock: 8, RegsPerThread: 8,
+		WarpProgram: func(b, w int) *program.Program { return p }}
+	g := mustRun(t, cfg, k)
+	r := g.Run()
+	if r.OccupancySamples != r.Cycles*int64(cfg.NumSMs) {
+		t.Fatalf("OccupancySamples = %d, want cycles x SMs = %d",
+			r.OccupancySamples, r.Cycles*int64(cfg.NumSMs))
+	}
+	m := r.MeanOccupancy()
+	if m <= 0 || m > 2.01 {
+		t.Errorf("MeanOccupancy = %.2f, want (0, 2] for 8 warps on 1 of 4 SMs", m)
+	}
+}
+
+// TestConcurrentNoHeadOfLineBlocking: a concurrent kernel whose next
+// block fits nowhere must not starve co-scheduled kernels with smaller
+// blocks. Kernel big's second 48-warp block can never place while its
+// first is resident (12 of 16 slots per sub-core); all 8 of small's
+// 8-warp blocks must still launch around it.
+func TestConcurrentNoHeadOfLineBlocking(t *testing.T) {
+	// big must be long-running but memory-bound: under GTO the older
+	// resident warps get issue priority, and compute-bound ones would
+	// starve the small kernel's warps at issue (a scheduler property,
+	// not a placement one). Memory stalls leave issue slots for small's
+	// warps to finish and free their blocks.
+	longP := memLatencyProgram(1 << 14)
+	shortP := fmaProgram(64, 2)
+	big := &Kernel{Name: "big", Blocks: 2, WarpsPerBlock: 48, RegsPerThread: 8,
+		WarpProgram: func(b, w int) *program.Program { return longP }}
+	small := &Kernel{Name: "small", Blocks: 8, WarpsPerBlock: 8, RegsPerThread: 8,
+		WarpProgram: func(b, w int) *program.Program { return shortP }}
+	g, err := New(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = g.RunConcurrent([]*Kernel{big, small}, 200_000)
+	var cle *CycleLimitError
+	if !errors.As(err, &cle) {
+		t.Fatalf("expected CycleLimitError (big never finishes), got %v", err)
+	}
+	if cle.BlocksTotal != 10 {
+		t.Fatalf("BlocksTotal = %d, want 10", cle.BlocksTotal)
+	}
+	// big block 0 + all 8 small blocks; big block 1 stays unplaceable.
+	if cle.BlocksLaunched < 9 {
+		t.Errorf("BlocksLaunched = %d, want >= 9: small kernel starved behind big's unplaceable block",
+			cle.BlocksLaunched)
+	}
+}
+
+// BenchmarkFastForward measures the wall-clock effect of the idle-cycle
+// fast-forward on the regime it targets: a low-occupancy latency-bound
+// kernel (dependent divergent loads, 2 blocks x 4 warps on 2 SMs) whose
+// device spends >90% of its cycles with nothing issuable anywhere. The
+// "off" sub-benchmark ticks every cycle; "on" skips quiescent spans.
+// Both simulate the identical cycle count (TestFastForwardByteIdentity
+// proves the statistics bit-equal) — only host time differs.
+func BenchmarkFastForward(b *testing.B) {
+	base := config.VoltaV100()
+	base.NumSMs = 2
+	p := memLatencyProgram(4096)
+	mk := func() *Kernel {
+		return &Kernel{Name: "mem-idle", Blocks: 2, WarpsPerBlock: 4, RegsPerThread: 16,
+			WarpProgram: func(blk, w int) *program.Program { return p }}
+	}
+	for _, bc := range []struct {
+		name string
+		cfg  config.GPU
+	}{{"on", base}, {"off", base.WithNoFastForward()}} {
+		b.Run(bc.name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				g, err := New(bc.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := g.RunKernel(mk(), 0); err != nil {
+					b.Fatal(err)
+				}
+				cycles = g.Run().Cycles
+			}
+			b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
+}

@@ -77,6 +77,9 @@ type GPU struct {
 	sms   []*smcore.SM
 	run   *stats.Run
 	cycle int64
+	// ffCycles counts cycles skipped by the idle-cycle fast-forward
+	// (diagnostic; see FastForwardedCycles).
+	ffCycles int64
 
 	traceReads  bool
 	issueBucket int
@@ -244,112 +247,30 @@ func (g *GPU) RunKernel(k *Kernel, maxCycles int64) error {
 // the paper's third and fourth partitioning effects (Section I): warps
 // with diverse execution-unit demands, and diverse register-capacity
 // demands, pinned to sub-cores.
+//
+// The run loop fast-forwards over provably-inert cycle spans (see
+// cycleLoop and docs/ARCHITECTURE.md's "Performance" section) unless
+// config.NoFastForward is set; statistics are byte-identical either way.
+//
+//simlint:hotpath
 func (g *GPU) RunConcurrent(kernels []*Kernel, maxCycles int64) error {
-	if len(kernels) == 0 {
-		return fmt.Errorf("gpu: no kernels to run")
+	if err := g.validateLaunch(kernels); err != nil {
+		return err
 	}
 	startCycles, startInstr := g.cycle, g.run.Instructions
-	for _, k := range kernels {
-		if err := k.Validate(&g.cfg); err != nil {
-			return err
-		}
-	}
 	if maxCycles <= 0 {
 		maxCycles = DefaultMaxCycles
 	}
 	for _, sm := range g.sms {
 		sm.ResetForKernel()
 	}
-	nextBlock := make([]int, len(kernels))
-	totalLeft := 0
-	var totalBlocks int
-	for _, k := range kernels {
-		totalLeft += k.Blocks
-		totalBlocks += k.Blocks
-	}
-	// Kernel-wide warp IDs must not collide across concurrent kernels;
-	// offset each kernel's GID space.
-	gidOffset := make([]int64, len(kernels))
-	var off int64
-	for i, k := range kernels {
-		gidOffset[i] = off
-		off += int64(k.Blocks) * int64(k.WarpsPerBlock)
-	}
-	smPtr, kPtr := 0, 0
-	deadline := g.cycle + maxCycles
-	for {
-		if g.tracer != nil {
-			// Publish the cycle before any stage emits events.
-			g.tracer.SetNow(g.cycle)
-		}
-		// Thread-block scheduler: place pending blocks on SMs with
-		// capacity — loose round-robin over SMs, alternating kernels.
-		for totalLeft > 0 {
-			// Next kernel with blocks remaining.
-			for nextBlock[kPtr] >= kernels[kPtr].Blocks {
-				kPtr = (kPtr + 1) % len(kernels)
-			}
-			k := kernels[kPtr]
-			spec := g.blockSpec(k, nextBlock[kPtr], gidOffset[kPtr])
-			placed := false
-			for scan := 0; scan < len(g.sms); scan++ {
-				sm := g.sms[smPtr]
-				smPtr = (smPtr + 1) % len(g.sms)
-				if sm.CanAccept(spec) {
-					if err := sm.Allocate(spec); err != nil {
-						return err
-					}
-					nextBlock[kPtr]++
-					totalLeft--
-					placed = true
-					kPtr = (kPtr + 1) % len(kernels)
-					break
-				}
-			}
-			if !placed {
-				break
-			}
-		}
-
-		for _, sm := range g.sms {
-			sm.Tick(g.cycle)
-		}
-		g.run.OccupancySum += int64(g.sms[0].ResidentWarps())
-		g.run.OccupancySamples++
-		if g.issueBucket > 0 {
-			g.sampleIssue()
-		}
-		if g.tracer != nil {
-			g.tracer.MaybeSample(g.cycle, g.sms[g.tracer.CounterSM()])
-		}
-		g.cycle++
-		g.run.Cycles = g.cycle
-
-		if totalLeft == 0 && g.drained() {
-			break
-		}
-		if g.cycle >= deadline {
-			return &CycleLimitError{
-				Kernel:         kernels[0].Name,
-				MaxCycles:      maxCycles,
-				BlocksLaunched: totalBlocks - totalLeft,
-				BlocksTotal:    totalBlocks,
-			}
-		}
-		if g.cycle&(monitorPeriod-1) == 0 {
-			g.flushMetrics()
-			if g.mon.beat(g.cycle) {
-				return &CancelError{Kernel: kernels[0].Name, Cycle: g.cycle, Reason: g.mon.Reason()}
-			}
-		}
+	ls := g.newLaunch(kernels, maxCycles)
+	if stop := g.cycleLoop(ls); stop != stopDone {
+		return g.launchError(stop, ls)
 	}
 	g.harvestCacheStats()
-	label := kernels[0].Name
-	if len(kernels) > 1 {
-		label = fmt.Sprintf("%s(+%d concurrent)", label, len(kernels)-1)
-	}
 	g.run.Kernels = append(g.run.Kernels, stats.KernelStats{
-		Name:         label,
+		Name:         launchLabel(kernels),
 		Cycles:       g.cycle - startCycles,
 		Instructions: g.run.Instructions - startInstr,
 	})
@@ -360,8 +281,363 @@ func (g *GPU) RunConcurrent(kernels []*Kernel, maxCycles int64) error {
 	return nil
 }
 
+// launch is one RunConcurrent call's thread-block-scheduler state,
+// hoisted into a struct so the cycle loop itself allocates nothing.
+type launch struct {
+	kernels   []*Kernel
+	maxCycles int64
+	deadline  int64
+	// nextBlock[i] is the next unplaced block of kernels[i]; specs[i]
+	// caches its materialized BlockSpec until that block places, so the
+	// per-cycle placement probe does not rebuild the program slice.
+	nextBlock []int
+	specs     []*smcore.BlockSpec
+	gidOffset []int64
+	// kPtr/smPtr are the round-robin cursors over kernels and SMs.
+	totalLeft   int
+	totalBlocks int
+	kPtr, smPtr int
+	// err carries a placement fault out of the loop (stopFault).
+	err error
+}
+
+// newLaunch sizes the launch bookkeeping — the only allocations of a
+// RunConcurrent call outside block materialization.
+func (g *GPU) newLaunch(kernels []*Kernel, maxCycles int64) *launch {
+	ls := &launch{
+		kernels:   kernels,
+		maxCycles: maxCycles,
+		deadline:  g.cycle + maxCycles,
+		nextBlock: make([]int, len(kernels)),
+		specs:     make([]*smcore.BlockSpec, len(kernels)),
+		gidOffset: make([]int64, len(kernels)),
+	}
+	// Kernel-wide warp IDs must not collide across concurrent kernels;
+	// offset each kernel's GID space.
+	var off int64
+	for i, k := range kernels {
+		ls.totalLeft += k.Blocks
+		ls.totalBlocks += k.Blocks
+		ls.gidOffset[i] = off
+		off += int64(k.Blocks) * int64(k.WarpsPerBlock)
+	}
+	return ls
+}
+
+func (g *GPU) validateLaunch(kernels []*Kernel) error {
+	if len(kernels) == 0 {
+		return fmt.Errorf("gpu: no kernels to run")
+	}
+	for _, k := range kernels {
+		if err := k.Validate(&g.cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// launchLabel names a kernel batch's stats entry.
+func launchLabel(kernels []*Kernel) string {
+	if len(kernels) > 1 {
+		return fmt.Sprintf("%s(+%d concurrent)", kernels[0].Name, len(kernels)-1)
+	}
+	return kernels[0].Name
+}
+
+// loopStop is cycleLoop's exit condition. The loop returns an enum and
+// launchError materializes the error outside the hot path, keeping the
+// loop free of composite-literal allocations.
+type loopStop uint8
+
+const (
+	stopDone loopStop = iota
+	stopDeadline
+	stopCanceled
+	stopFault
+)
+
+// launchError materializes a non-done stop condition as the error
+// RunConcurrent returns.
+func (g *GPU) launchError(stop loopStop, ls *launch) error {
+	switch stop {
+	case stopDeadline:
+		return &CycleLimitError{
+			Kernel:         ls.kernels[0].Name,
+			MaxCycles:      ls.maxCycles,
+			BlocksLaunched: ls.totalBlocks - ls.totalLeft,
+			BlocksTotal:    ls.totalBlocks,
+		}
+	case stopCanceled:
+		return &CancelError{Kernel: ls.kernels[0].Name, Cycle: g.cycle, Reason: g.mon.Reason()}
+	case stopFault:
+		return ls.err
+	}
+	return nil
+}
+
+// cycleLoop is the device's per-cycle engine: block placement, SM
+// ticks, sampling, and the post-cycle drain/deadline/heartbeat checks —
+// plus the idle-cycle fast-forward that skips spans in which no SM can
+// make progress. Everything on this path must stay allocation-free
+// (simlint hotpath; the loop runs tens of millions of iterations per
+// sweep cell).
+// ffProbeAfter is how many consecutive issueless cycles the loop waits
+// before probing for a fast-forward. Probes are not free (a device-wide
+// next-event scan), and spans worth skipping are long; failed probes
+// back off multiplicatively so a stalled-but-hot phase (writebacks and
+// collections in flight, nothing issuing) pays O(log n) probes, not one
+// per cycle. Probe timing only affects which cycles get skipped — skips
+// are inert — so statistics are identical for any schedule.
+const ffProbeAfter = 8
+
+func (g *GPU) cycleLoop(ls *launch) loopStop {
+	ff := !g.cfg.NoFastForward
+	idleStreak, nextProbe := int64(0), int64(ffProbeAfter)
+	for {
+		if g.tracer != nil {
+			// Publish the cycle before any stage emits events.
+			g.tracer.SetNow(g.cycle)
+		}
+		if ls.totalLeft > 0 && !g.placeBlocks(ls) {
+			return stopFault
+		}
+		instrBefore := g.run.Instructions
+		occ := 0
+		for _, sm := range g.sms {
+			sm.Tick(g.cycle)
+			occ += sm.ResidentWarps()
+		}
+		g.run.OccupancySum += int64(occ)
+		g.run.OccupancySamples += int64(len(g.sms))
+		if g.issueBucket > 0 {
+			g.sampleIssue()
+		}
+		if g.tracer != nil {
+			g.tracer.MaybeSample(g.cycle, g.sms[g.tracer.CounterSM()])
+		}
+		g.cycle++
+		g.run.Cycles = g.cycle
+
+		if ls.totalLeft == 0 && g.drained() {
+			return stopDone
+		}
+		if g.cycle >= ls.deadline {
+			return stopDeadline
+		}
+		if g.cycle&(monitorPeriod-1) == 0 {
+			g.flushMetrics()
+			if g.mon.beat(g.cycle) {
+				return stopCanceled
+			}
+		}
+		// Idle-cycle fast-forward. The issue-streak guard is purely a cost
+		// filter: on cycles that issued work the device is certainly hot,
+		// and short gaps are not worth a device-wide next-event scan.
+		if g.run.Instructions != instrBefore {
+			idleStreak, nextProbe = 0, ffProbeAfter
+		} else if ff {
+			idleStreak++
+			if idleStreak >= nextProbe {
+				stop, stopped, skipped := g.fastForward(ls)
+				if stopped {
+					return stop
+				}
+				if skipped {
+					// Spans often chain across a wake (e.g. a heartbeat
+					// boundary cap): retry immediately.
+					nextProbe = idleStreak + 1
+				} else {
+					nextProbe = idleStreak * 2
+				}
+			}
+		}
+	}
+}
+
+// placeBlocks runs the thread-block scheduler: rounds over the pending
+// kernels, each round offering every kernel one placement attempt over
+// the SM ring, until a full round places nothing. Offering each kernel
+// its own attempt per round is what prevents head-of-line blocking — a
+// kernel whose next block currently fits nowhere no longer starves
+// concurrent kernels with smaller footprints (previously the loop broke
+// outright on the first unplaceable block). A fully failed round
+// restores kPtr (and the SM cursor returns to its start by walking
+// whole laps), so a stalled scheduler pass mutates nothing — the
+// idempotence the fast-forward path relies on when it skips the passes
+// the ticked loop would have run. Returns false on a placement fault
+// (ls.err is set).
+//
+//simlint:hotpath
+func (g *GPU) placeBlocks(ls *launch) bool {
+	for ls.totalLeft > 0 {
+		placedAny := false
+		startK := ls.kPtr
+		for try := 0; try < len(ls.kernels); try++ {
+			// Advance to the next kernel with blocks remaining.
+			for ls.nextBlock[ls.kPtr] >= ls.kernels[ls.kPtr].Blocks {
+				ls.kPtr = (ls.kPtr + 1) % len(ls.kernels)
+			}
+			ki := ls.kPtr
+			ls.kPtr = (ls.kPtr + 1) % len(ls.kernels)
+			spec := ls.specs[ki]
+			if spec == nil {
+				spec = g.blockSpec(ls.kernels[ki], ls.nextBlock[ki], ls.gidOffset[ki])
+				ls.specs[ki] = spec
+			}
+			for scan := 0; scan < len(g.sms); scan++ {
+				sm := g.sms[ls.smPtr]
+				ls.smPtr = (ls.smPtr + 1) % len(g.sms)
+				if sm.CanAccept(spec) {
+					if err := sm.Allocate(spec); err != nil {
+						ls.err = err
+						return false
+					}
+					ls.nextBlock[ki]++
+					ls.specs[ki] = nil
+					ls.totalLeft--
+					placedAny = true
+					break
+				}
+			}
+			if ls.totalLeft == 0 {
+				break
+			}
+		}
+		if !placedAny {
+			// Failed rounds leave no trace: restore the kernel cursor the
+			// skip-exhausted walk may have moved.
+			ls.kPtr = startK
+			break
+		}
+	}
+	return true
+}
+
+// fastForward attempts an idle-cycle skip from the current cycle: when
+// every SM's next event lies strictly in the future, jump straight to
+// the earliest one — capped at the next heartbeat boundary (preserving
+// monitor cadence, metrics flushes, and cancellation latency) and at
+// the deadline (so CycleLimitError fires at the identical cycle the
+// ticked loop would report). The skipped span's accounting is replayed
+// in bulk by skipTo. Returns stopped=true when the skip landed on the
+// deadline or observed a cancel, and skipped=true when any cycles were
+// skipped (the probe-backoff signal).
+//
+//simlint:hotpath
+func (g *GPU) fastForward(ls *launch) (stop loopStop, stopped, skipped bool) {
+	wake := g.nextWake(g.cycle)
+	if wake <= g.cycle {
+		return stopDone, false, false // something is hot after all; keep ticking
+	}
+	if b := (g.cycle &^ (monitorPeriod - 1)) + monitorPeriod; b < wake {
+		wake = b
+	}
+	if ls.deadline < wake {
+		wake = ls.deadline
+	}
+	g.skipTo(wake)
+	// Post-skip checks mirror the ticked loop's order exactly. Drain
+	// cannot change across a quiescent span, so only deadline and
+	// heartbeat need re-checking.
+	if g.cycle >= ls.deadline {
+		return stopDeadline, true, true
+	}
+	if g.cycle&(monitorPeriod-1) == 0 {
+		g.flushMetrics()
+		if g.mon.beat(g.cycle) {
+			return stopCanceled, true, true
+		}
+	}
+	return stopDone, false, true
+}
+
+// nextWake computes the device-wide next-event cycle: the min over all
+// SMs' NextEvent and the memory system's, or now when any SM is hot.
+// The memory-system events never initiate SM work by themselves (the
+// hierarchy is analytic), so including them only shortens skips — a
+// conservative bound, never a correctness requirement.
+//
+//simlint:hotpath
+func (g *GPU) nextWake(now int64) int64 {
+	wake := mem.NeverCycle
+	for _, sm := range g.sms {
+		e := sm.NextEvent(now)
+		if e <= now {
+			return now
+		}
+		if e < wake {
+			wake = e
+		}
+	}
+	if e := g.hier.NextEvent(now); e > now && e < wake {
+		wake = e
+	}
+	return wake
+}
+
+// skipTo bulk-charges cycles [g.cycle, wake) and jumps the clock. Every
+// per-cycle side channel the ticked loop feeds — CPI-stack stall
+// buckets, occupancy sums, issue-timeline buckets, counter samples, the
+// register-read trace — advances by exactly what the skipped ticks
+// would have produced, which is what keeps stats.Run byte-identical
+// with fast-forward on or off.
+func (g *GPU) skipTo(wake int64) {
+	n := wake - g.cycle
+	if g.tracer != nil {
+		// The KFastForward events emitted below carry the first skipped
+		// cycle; the next loop iteration republishes the wake cycle.
+		g.tracer.SetNow(g.cycle)
+	}
+	occ := 0
+	for _, sm := range g.sms {
+		sm.FastForward(g.cycle, n)
+		occ += sm.ResidentWarps()
+	}
+	// Residency is constant across a quiescent span (blocks place and
+	// retire only on issue activity), so the per-cycle sums scale.
+	g.run.OccupancySum += int64(occ) * n
+	g.run.OccupancySamples += n * int64(len(g.sms))
+	if g.issueBucket > 0 {
+		g.skipIssueSamples(n)
+	}
+	if g.tracer != nil {
+		g.tracer.SampleRange(g.cycle, wake, g.sms[g.tracer.CounterSM()])
+	}
+	g.ffCycles += n
+	g.cycle = wake
+	g.run.Cycles = g.cycle
+}
+
+// skipIssueSamples advances the issue-timeline sampler across n skipped
+// cycles. Per-cycle issue deltas are zero over a quiescent span, so
+// only bucket-boundary flushes matter: the pre-skip partial accumulation
+// flushes into its bucket at the exact cycle the ticked loop would have
+// flushed it, and wholly-skipped buckets record zero.
+func (g *GPU) skipIssueSamples(n int64) {
+	for n > 0 {
+		room := int64(g.issueBucket - g.issueFill)
+		if n < room {
+			g.issueFill += int(n)
+			return
+		}
+		n -= room
+		for i := range g.issueAccum {
+			g.run.IssueTimeline[i] = append(g.run.IssueTimeline[i], g.issueAccum[i])
+			g.issueAccum[i] = 0
+		}
+		g.issueFill = 0
+	}
+}
+
+// FastForwardedCycles returns how many cycles the idle-cycle
+// fast-forward has skipped over the device's lifetime. Diagnostic only —
+// deliberately not part of stats.Run, which must stay byte-identical
+// with fast-forward on or off.
+func (g *GPU) FastForwardedCycles() int64 { return g.ffCycles }
+
 // blockSpec materializes block b of kernel k; gidOffset displaces the
-// kernel's warp-GID space under concurrent execution.
+// kernel's warp-GID space under concurrent execution. Called once per
+// placed block: the launch caches the spec until placement succeeds.
 func (g *GPU) blockSpec(k *Kernel, b int, gidOffset int64) *smcore.BlockSpec {
 	progs := make([]*program.Program, k.WarpsPerBlock)
 	for w := range progs {

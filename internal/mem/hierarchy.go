@@ -1,6 +1,8 @@
 package mem
 
 import (
+	"math"
+
 	"repro/internal/config"
 	"repro/internal/isa"
 )
@@ -52,7 +54,15 @@ func (ch *bwChannel) serve(now int64) int64 {
 		ch.fracPending -= ch.fracDen
 		ch.nextFree++
 	}
-	// Service is sub-cycle; completion is the cycle the line drains.
+	// Completion contract (matching the integral path, which returns the
+	// cycle the line finishes draining): a line ending exactly on a cycle
+	// boundary (fracPending == 0) completes at nextFree; a line ending
+	// mid-cycle drains during cycle nextFree+1. The historical
+	// unconditional nextFree+1 over-charged every boundary-aligned
+	// fractional transaction by one cycle.
+	if ch.fracPending == 0 {
+		return ch.nextFree
+	}
 	return ch.nextFree + 1
 }
 
@@ -69,9 +79,43 @@ func (ch *bwChannel) queueDelay(now int64) int64 {
 // merge instead of consuming bandwidth twice.
 type mshr struct {
 	pending map[uint64]int64 // line -> completion cycle
+	// minDone is a lower bound on the earliest pending completion. Inserts
+	// keep it exact downward; lazy deletes leave it stale-low, and
+	// nextEvent restores it with an amortized rescan. Keeping the bound
+	// makes the fast-forward probe O(1) per idle cycle instead of a full
+	// map walk.
+	minDone int64
 }
 
-func newMSHR() *mshr { return &mshr{pending: make(map[uint64]int64)} }
+func newMSHR() *mshr {
+	return &mshr{pending: make(map[uint64]int64), minDone: NeverCycle}
+}
+
+// nextEvent returns the earliest pending completion strictly after now,
+// or NeverCycle. When the cached bound has gone stale (its entry
+// completed and was lazily deleted), it rescans once — pruning every
+// completed entry on the way, so each insert is scanned O(1) times over
+// its lifetime and the map cannot accumulate dead lines.
+func (m *mshr) nextEvent(now int64) int64 {
+	if len(m.pending) == 0 {
+		return NeverCycle
+	}
+	if m.minDone > now {
+		return m.minDone
+	}
+	min := NeverCycle
+	for line, done := range m.pending {
+		if done <= now {
+			delete(m.pending, line)
+			continue
+		}
+		if done < min {
+			min = done
+		}
+	}
+	m.minDone = min
+	return min
+}
 
 func (m *mshr) lookup(line uint64, now int64) (int64, bool) {
 	done, ok := m.pending[line]
@@ -85,7 +129,12 @@ func (m *mshr) lookup(line uint64, now int64) (int64, bool) {
 	return done, true
 }
 
-func (m *mshr) insert(line uint64, done int64) { m.pending[line] = done }
+func (m *mshr) insert(line uint64, done int64) {
+	m.pending[line] = done
+	if done < m.minDone {
+		m.minDone = done
+	}
+}
 
 // Hierarchy is the full memory system: one L1 per SM, a shared L2, and
 // DRAM. It is deliberately latency/bandwidth-analytic rather than
@@ -168,6 +217,40 @@ func (h *Hierarchy) accessL2(addr uint64, now int64) int64 {
 	done := dramDone + int64(h.cfg.DRAMLatency)
 	h.l2m.insert(line, done)
 	return done
+}
+
+// NeverCycle is the NextEvent sentinel for "no intrinsic future event":
+// any real event cycle compares smaller.
+const NeverCycle = int64(math.MaxInt64)
+
+// NextEvent returns the earliest cycle strictly after now at which the
+// memory system's time-indexed state changes: a bandwidth channel
+// freeing, or an outstanding MSHR fill completing. It returns NeverCycle
+// when nothing is in flight. The hierarchy is analytic (accesses resolve
+// to completion cycles immediately), so these events never *initiate*
+// work by themselves — the device loop takes the min with the SM events
+// only to bound fast-forward skips conservatively.
+//
+//simlint:hotpath
+func (h *Hierarchy) NextEvent(now int64) int64 {
+	next := NeverCycle
+	if h.l2ch.nextFree > now && h.l2ch.nextFree < next {
+		next = h.l2ch.nextFree
+	}
+	if h.drch.nextFree > now && h.drch.nextFree < next {
+		next = h.drch.nextFree
+	}
+	// MSHR rescans iterate their maps in arbitrary order; the min is
+	// order-independent, so the result stays deterministic.
+	if e := h.l2m.nextEvent(now); e < next {
+		next = e
+	}
+	for _, m := range h.l1m {
+		if e := m.nextEvent(now); e < next {
+			next = e
+		}
+	}
+	return next
 }
 
 // CongestionDelay estimates current memory-system backpressure for the

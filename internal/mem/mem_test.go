@@ -140,6 +140,61 @@ func TestDRAMBandwidthQueueing(t *testing.T) {
 	}
 }
 
+// TestBWChannelServeContract pins serve's completion contract on both
+// paths: the returned cycle is when the line finishes draining. On the
+// fractional path (bytes/cycle > line) a transaction ending exactly on a
+// cycle boundary completes at nextFree — the historical unconditional
+// +1 over-charged every boundary-aligned transaction.
+func TestBWChannelServeContract(t *testing.T) {
+	cases := []struct {
+		name          string
+		bytesPerCycle int
+		want          []int64 // serve results for back-to-back calls at now=0
+	}{
+		// Integral path: 128/16 = 8 cycles per line.
+		{"integral-8cyc", 16, []int64{8, 16, 24}},
+		// Integral with remainder: ceil(128/100) = 2 cycles per line.
+		{"integral-roundup", 100, []int64{2, 4}},
+		// Fractional, 4 lines/cycle: the 4th line lands exactly on the
+		// cycle-1 boundary and completes there, not at 2.
+		{"fractional-4-per-cycle", 512, []int64{1, 1, 1, 1, 2, 2, 2, 2}},
+		// Fractional, 3 lines/cycle.
+		{"fractional-3-per-cycle", 384, []int64{1, 1, 1, 2}},
+		// The V100 L2 shape: 1280 B/cycle, 10 lines per cycle.
+		{"fractional-v100-l2", 1280, []int64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ch := newBWChannel(tc.bytesPerCycle, 128)
+			var prev int64
+			for i, want := range tc.want {
+				got := ch.serve(0)
+				if got != want {
+					t.Errorf("serve #%d = %d, want %d", i, got, want)
+				}
+				if got < prev {
+					t.Errorf("serve #%d = %d went backwards from %d", i, got, prev)
+				}
+				prev = got
+			}
+		})
+	}
+}
+
+// An idle gap resets fractional accumulation: a channel that has fully
+// drained must not carry partial-cycle credit into later traffic.
+func TestBWChannelIdleResetsFraction(t *testing.T) {
+	ch := newBWChannel(512, 128)
+	if got := ch.serve(0); got != 1 {
+		t.Fatalf("first line done at %d, want 1", got)
+	}
+	// Long idle gap; a fresh line at cycle 10 drains during cycle 11 and
+	// must not complete early on the stale fracPending from cycle 0.
+	if got := ch.serve(10); got != 11 {
+		t.Errorf("post-idle line done at %d, want 11", got)
+	}
+}
+
 func TestBWChannelFractional(t *testing.T) {
 	// 512 B/cycle channel with 128 B lines: 4 lines per cycle.
 	ch := newBWChannel(512, 128)

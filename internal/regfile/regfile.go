@@ -17,6 +17,7 @@ package regfile
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/isa"
 	"repro/internal/stats"
@@ -393,6 +394,66 @@ func (c *Collector) Tick(dispatch func(*CollectorUnit) bool) {
 		snap[b] = int16(c.QueueLen(b))
 	}
 	c.cycle++
+}
+
+// neverCycle is the NextEvent sentinel for "no intrinsic future event".
+const neverCycle = int64(math.MaxInt64)
+
+// NextEvent returns the earliest cycle at which a Tick would mutate
+// collector state: now when any bank has a queued read or writeback
+// (grants fire every cycle) or a non-stolen collector unit is staged
+// (it dispatches, or blocks attributably, every cycle), and neverCycle
+// otherwise. A *stolen* pre-allocation with all operands collected is
+// inert: it converts only at formal issue, which requires an issuable
+// warp — the sub-core's own quiescence check covers that. This is the
+// contract the run loop's idle-cycle fast-forward relies on: when every
+// collector reports no event, skipped Ticks would have been no-ops
+// (grant-less, dispatch-less) except for the clock and queue-length
+// ring, which FastForward replays exactly.
+//
+//simlint:hotpath
+func (c *Collector) NextEvent(now int64) int64 {
+	for b := 0; b < c.banks; b++ {
+		if len(c.queues[b]) > 0 || len(c.writes[b]) > 0 {
+			return now
+		}
+	}
+	for i := range c.cus {
+		u := &c.cus[i]
+		if u.Valid && !u.Stolen {
+			return now
+		}
+	}
+	return neverCycle
+}
+
+// FastForward advances the collector's clock by n quiescent cycles,
+// replaying exactly what n Ticks would have done given NextEvent
+// reported no event: no grants, no dispatches, only the cycle counter
+// and the queue-length history ring advancing (the ring feeds RBA's
+// delayed score tap, so it must stay bit-exact across a skip).
+func (c *Collector) FastForward(n int64) {
+	ring := int64(len(c.qlenHist))
+	steps := n
+	if steps > ring {
+		steps = ring // older slots would be overwritten anyway
+	}
+	for i := int64(0); i < steps; i++ {
+		c.histPos++
+		if c.histPos == len(c.qlenHist) {
+			c.histPos = 0
+		}
+		snap := c.qlenHist[c.histPos]
+		for b := 0; b < c.banks; b++ {
+			snap[b] = int16(c.QueueLen(b))
+		}
+	}
+	if n > ring {
+		// All slots now hold the current snapshot; land histPos where n
+		// single-cycle advances would have left it.
+		c.histPos = int((int64(c.histPos) + n - steps) % ring)
+	}
+	c.cycle += n
 }
 
 // Drained reports whether no collector unit is occupied and no request is

@@ -44,6 +44,11 @@ type block struct {
 	sharedBytes    int
 }
 
+// subRoom is CanAccept's per-sub-core feasibility scratch (free warp
+// slots and register bytes), kept on the SM so the per-cycle placement
+// probe never allocates.
+type subRoom struct{ slots, regs int }
+
 // wbEvent is a scheduled register writeback (execution or load return).
 type wbEvent struct {
 	cycle   int64
@@ -116,6 +121,8 @@ type SM struct {
 	wb         wbHeap
 	freeShmem  int
 	ageCounter int64
+	// rooms is CanAccept's reusable feasibility scratch.
+	rooms []subRoom
 	// residentWarps counts occupied warp slots (all states).
 	residentWarps  int
 	residentBlocks int
@@ -149,6 +156,7 @@ func NewSM(id int, cfg *config.GPU, hier *mem.Hierarchy, run *stats.Run) *SM {
 	for i := 0; i < cfg.SubCoresPerSM; i++ {
 		sm.subcores = append(sm.subcores, newSubCore(i, cfg, sm, &run.SMs[id].SubCores[i]))
 	}
+	sm.rooms = make([]subRoom, len(sm.subcores))
 	return sm
 }
 
@@ -193,6 +201,12 @@ func (sm *SM) TraceCounters(s *trace.CounterSample) {
 // space would suffice: per-sub-core fragmentation from earlier blocks
 // (e.g. a concurrent kernel with a different register footprint) strands
 // capacity. This is the paper's fourth partitioning effect (Section I).
+//
+// CanAccept runs on the per-cycle path (the block scheduler probes every
+// SM each cycle while blocks are pending), hence the reusable rooms
+// scratch instead of a per-call allocation.
+//
+//simlint:hotpath
 func (sm *SM) CanAccept(b *BlockSpec) bool {
 	if sm.residentBlocks >= len(sm.blocks) {
 		return false
@@ -205,10 +219,9 @@ func (sm *SM) CanAccept(b *BlockSpec) bool {
 	}
 	// First-fit feasibility over per-sub-core slots and register space.
 	perWarp := b.RegsPerThread * sm.cfg.WarpSize * 4
-	type room struct{ slots, regs int }
-	rooms := make([]room, len(sm.subcores))
+	rooms := sm.rooms
 	for i, sc := range sm.subcores {
-		rooms[i] = room{slots: len(sc.slots) - sc.used, regs: sc.freeRegBytes}
+		rooms[i] = subRoom{slots: len(sc.slots) - sc.used, regs: sc.freeRegBytes}
 	}
 	for w := 0; w < b.Warps(); w++ {
 		placed := false
@@ -407,6 +420,75 @@ func (sm *SM) Tick(now int64) {
 		for _, sc := range sm.subcores {
 			sc.st.Cycles++
 		}
+	}
+}
+
+// NextEvent returns the earliest cycle at or after now at which ticking
+// this SM could mutate state (beyond pure per-cycle stall accounting):
+// now itself when any stage has work this cycle — an issuable or
+// decodable warp, a collector with queued requests or a dispatchable
+// unit, an LSU with an admissible entry — or the earliest time-gated
+// event otherwise: the next writeback in the heap, or the LSU coalescer
+// port freeing over a non-empty queue. mem.NeverCycle means the SM has
+// no intrinsic future event (empty, or wedged until a barrier that will
+// never release — the device deadline still bounds that).
+//
+// The contract (docs/ARCHITECTURE.md, "Performance"): if NextEvent(now)
+// returns t > now, then Tick(c) for every c in [now, t) would change
+// nothing except the stall/idle counters that FastForward replays in
+// bulk. The run loop's fast-forward leans on this for byte-identical
+// statistics; TestFastForwardDifferential enforces it end to end.
+//
+//simlint:hotpath
+func (sm *SM) NextEvent(now int64) int64 {
+	next := mem.NeverCycle
+	if len(sm.wb) > 0 {
+		if sm.wb[0].cycle <= now {
+			return now
+		}
+		next = sm.wb[0].cycle // heap root is the earliest writeback
+	}
+	if sm.lsu.pending() > 0 {
+		if sm.lsu.portFree <= now {
+			return now
+		}
+		if sm.lsu.portFree < next {
+			next = sm.lsu.portFree
+		}
+	}
+	for _, sc := range sm.subcores {
+		if !sc.quiescent(now) {
+			return now
+		}
+	}
+	return next
+}
+
+// FastForward bulk-charges n quiescent cycles starting at now: the
+// exact counters n Ticks would have accumulated given NextEvent(now)
+// reported no event before now+n. Stall attribution per sub-core
+// replays issueTick's no-candidate decision; collector clocks and RBA
+// queue-length rings advance bit-exactly; the per-cycle register-read
+// trace (Fig. 14) appends its zero deltas. Emits one KFastForward event
+// covering the span when the SM is traced.
+func (sm *SM) FastForward(now, n int64) {
+	for _, sc := range sm.subcores {
+		sc.fastForward(now, n)
+	}
+	if sm.traceReads {
+		for i := int64(0); i < n; i++ {
+			// RegReads is static across a quiescent span, so every skipped
+			// cycle's delta is zero.
+			sm.run.ReadsPerCycle = append(sm.run.ReadsPerCycle, 0)
+		}
+	}
+	if sm.residentWarps > 0 {
+		for _, sc := range sm.subcores {
+			sc.st.Cycles += n
+		}
+	}
+	if sm.tr != nil {
+		sm.tr.Emit(trace.KFastForward, -1, -1, int32(n), 0)
 	}
 }
 

@@ -400,6 +400,77 @@ func (sc *SubCore) issueTick(now int64) {
 	}
 }
 
+// quiescent reports whether ticking this sub-core at now would mutate
+// nothing except stall accounting. It mirrors the candidate filter of
+// buildCandidates plus the decode refill condition: a sub-core is
+// quiescent when its collector has no event (no queued reads/writes, no
+// dispatchable unit) and no active warp could decode or issue. With no
+// candidates the scheduler's Pick is never consulted, so scheduler
+// state is untouched too — the property that makes skipped cycles
+// byte-identical for GTO, LRR, and RBA alike.
+//
+//simlint:hotpath
+func (sc *SubCore) quiescent(now int64) bool {
+	if sc.coll.NextEvent(now) <= now {
+		return false
+	}
+	for _, wi := range sc.slots {
+		if wi < 0 {
+			continue
+		}
+		w := &sc.sm.warps[wi]
+		if w.State != WarpActive {
+			continue // barrier/finished warps act only via other warps' issues
+		}
+		if w.IBufN < 2 && !w.Cursor.Done() {
+			return false // decodeTick would refill the buffer
+		}
+		if w.IBufN == 0 {
+			continue // cursor done, buffer drained: nothing left to do
+		}
+		in := &w.IBuf[0]
+		if w.Hazard(in) {
+			continue // cleared by a writeback, tracked in the wb heap
+		}
+		if (in.Op.IsExit() || in.Op.IsBarrier()) && !w.SBEmpty() {
+			continue // drains via outstanding writebacks
+		}
+		return false // an issuable candidate: the scheduler would act
+	}
+	return true
+}
+
+// fastForward replays what n quiescent issueTicks would have charged:
+// the no-candidate branch of the stall-attribution switch, n times, plus
+// the collector's clock and queue-length ring. The census is recomputed
+// through buildCandidates so the attribution logic cannot drift from the
+// ticked path; finding an issuable candidate here means the caller's
+// NextEvent contract was violated, which is a simulator bug worth dying
+// loudly for (the differential test would otherwise just report drift).
+func (sc *SubCore) fastForward(now, n int64) {
+	cen := sc.buildCandidates(now)
+	if len(sc.cands) > 0 {
+		panic("smcore: fast-forward over a sub-core with issuable candidates")
+	}
+	var reason stats.StallReason
+	switch {
+	case cen.hazard > 0:
+		reason = stats.StallScoreboard
+	case cen.atBarrier > 0 && cen.active == 0:
+		reason = stats.StallBarrier
+	default:
+		reason = stats.StallNoWarp
+		if sc.sm.residentWarps == 0 {
+			sc.st.SMIdleCycles += n
+		}
+		if cen.resident > 0 && cen.finished == cen.resident {
+			sc.st.IdleAllFinished += n
+		}
+	}
+	sc.st.StallCycles[reason] += n
+	sc.coll.FastForward(n)
+}
+
 // tryIssue attempts to issue warp w's IBuf[0]. Returns ok, plus which
 // resource blocked the failure: a missing collector unit, a busy
 // compute execution port, or a full LSU queue (the memory path — kept

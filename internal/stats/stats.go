@@ -127,8 +127,8 @@ type Run struct {
 	SMs          []SM
 	// Kernels breaks the run down per kernel launch.
 	Kernels []KernelStats
-	// OccupancySamples/OccupancySum track mean resident warps per SM
-	// (sampled every cycle on SM 0).
+	// OccupancySamples/OccupancySum track mean resident warps per SM,
+	// sampled every cycle on every SM (one sample per SM per cycle).
 	OccupancySum     int64
 	OccupancySamples int64
 	// ReadsPerCycle, when tracing was enabled, holds the aggregate
@@ -141,7 +141,8 @@ type Run struct {
 	IssueBucket   int
 }
 
-// MeanOccupancy returns the average resident warps on SM 0.
+// MeanOccupancy returns the average resident warps per SM, over all SMs
+// and all cycles.
 func (r *Run) MeanOccupancy() float64 {
 	if r.OccupancySamples == 0 {
 		return 0

@@ -65,6 +65,12 @@ const (
 	// KBlockRetire: a thread block retired, freeing all its resources at
 	// once. A = kernel block id.
 	KBlockRetire
+	// KFastForward: the device loop skipped a span of provably-inert
+	// cycles (idle-cycle fast-forward). A = the number of cycles skipped;
+	// the event's Cycle is the first skipped cycle. One event per traced
+	// SM per skip replaces the per-cycle KStall stream the ticked loop
+	// would have emitted over the span.
+	KFastForward
 
 	NumKinds
 )
@@ -72,6 +78,7 @@ const (
 var kindNames = [NumKinds]string{
 	"issue", "stall", "bank-read", "bank-write", "dispatch",
 	"lsu-admit", "coalesce", "writeback", "block-place", "block-retire",
+	"fast-forward",
 }
 
 // String names the event kind.
@@ -392,6 +399,23 @@ func (t *Tracer) Counters() *Counters {
 
 // CounterSM returns the SM whose counters are sampled.
 func (t *Tracer) CounterSM() int { return t.opt.CounterSM }
+
+// SampleRange records the counter samples falling in cycles [from, to):
+// the device loop's fast-forward path calls it in place of per-cycle
+// MaybeSample calls when it skips a span. The skipped span is quiescent
+// by construction, so every sample in it sees the same counter values a
+// ticked loop would have observed.
+func (t *Tracer) SampleRange(from, to int64, src CounterSource) {
+	c := t.counters
+	if c == nil {
+		return
+	}
+	p := int64(c.Period)
+	first := from + (p-from%p)%p // first multiple of p at or after from
+	for cyc := first; cyc < to; cyc += p {
+		t.MaybeSample(cyc, src)
+	}
+}
 
 // MaybeSample records a counter sample when cycle lands on the sampling
 // period. The device loop calls it every cycle with the designated SM.
