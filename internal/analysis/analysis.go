@@ -5,12 +5,17 @@
 //
 // The suite enforces the invariants the reproduction's headline numbers
 // rest on — bit-deterministic sweeps, an allocation-free cycle loop,
-// nil-guarded trace emission, structured fault propagation, and
-// hang-supervision polling — at the source level, where review and
-// dynamic tests alone cannot keep up with the tree. Each analyzer's
-// rationale is documented in docs/STATIC_ANALYSIS.md.
+// nil-guarded trace emission, structured fault propagation,
+// hang-supervision polling, and snapshot-manifest coverage — at the
+// source level, where review and dynamic tests alone cannot keep up
+// with the tree. Each analyzer's rationale is documented in
+// docs/STATIC_ANALYSIS.md.
 //
-// Two comment directives tune the suite:
+// Three comment directives tune the suite:
+//
+//	//snapshot:state
+//	    on a struct's doc comment declares it mutable device state,
+//	    requiring a <x>Manifest coverage ledger (snapshotguard).
 //
 //	//simlint:hotpath
 //	    on a function's doc comment marks it per-cycle, opting it into
@@ -46,7 +51,7 @@ type Analyzer struct {
 }
 
 // All is the registry of simlint's analyzers, in report order.
-var All = []*Analyzer{Determinism, Hotpath, Traceguard, Faultflow, Monitorpoll}
+var All = []*Analyzer{Determinism, Hotpath, Traceguard, Faultflow, Monitorpoll, Snapshotguard}
 
 // ByName resolves a subset of All from comma-separated names.
 func ByName(names string) ([]*Analyzer, error) {

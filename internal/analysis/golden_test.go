@@ -75,6 +75,7 @@ func TestGolden(t *testing.T) {
 		{"traceguard", Traceguard},
 		{"faultflow", Faultflow},
 		{"monitorpoll", Monitorpoll},
+		{"snapshotguard", Snapshotguard},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

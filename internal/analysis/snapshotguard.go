@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Snapshotguard is the static half of the snapshot-coverage contract
+// from docs/ROBUSTNESS.md. The dynamic half — snapshot.Coverage in each
+// package's TestSnapshotCoverage — proves at run time that every field
+// of a snapshotted struct is either encoded or carries an explicit
+// "skip:" justification. This analyzer enforces the same ledger at the
+// source level, where it also catches what reflection cannot: a
+// manifest orphaned by a struct rename, a state struct that never got a
+// manifest at all, and an entry whose value is neither "encoded" nor a
+// "skip: reason".
+//
+// The convention it binds: a package-level
+//
+//	var <x>Manifest = map[string]string{...}
+//
+// documents the struct whose name matches <x> case-insensitively
+// (smManifest → SM, launchManifest → launch). Every field of that
+// struct must appear as a key; every key must name a field; every value
+// must begin with "encoded" or "skip:". Structs whose doc comment
+// carries a //snapshot:state line must have a manifest — that marker is
+// how a new mutable-state struct is pulled into the contract before
+// anyone remembers to write its encoder.
+var Snapshotguard = &Analyzer{
+	Name: "snapshotguard",
+	Doc: "flag snapshot-manifest drift: state-struct fields missing from " +
+		"their <x>Manifest ledger, stale manifest keys, orphaned " +
+		"manifests, malformed entries, and //snapshot:state structs " +
+		"with no manifest at all",
+	Run: runSnapshotguard,
+}
+
+// manifestDecl is one `var <x>Manifest = map[string]string{...}`.
+type manifestDecl struct {
+	name string    // full var name, e.g. "smManifest"
+	base string    // name minus the Manifest suffix, e.g. "sm"
+	pos  token.Pos // the var name
+	keys []manifestKey
+}
+
+type manifestKey struct {
+	key      string
+	pos      token.Pos // the key literal
+	valuePos token.Pos // the value literal
+	value    string
+	valueLit bool // value was a plain string literal we could read
+}
+
+// structDecl is one package-level struct type.
+type structDecl struct {
+	name   string
+	pos    token.Pos
+	fields []fieldDecl
+	marked bool // doc comment carries //snapshot:state
+}
+
+type fieldDecl struct {
+	name string
+	pos  token.Pos
+}
+
+func runSnapshotguard(p *Pass) error {
+	var manifests []manifestDecl
+	structs := map[string]*structDecl{}
+	var order []string // deterministic report order for marked structs
+
+	for _, f := range p.Files() {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.VAR:
+				for _, spec := range gd.Specs {
+					collectManifests(spec, &manifests)
+				}
+			case token.TYPE:
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					sd := &structDecl{
+						name:   ts.Name.Name,
+						pos:    ts.Pos(),
+						marked: hasStateMarker(gd.Doc) || hasStateMarker(ts.Doc),
+					}
+					for _, fld := range st.Fields.List {
+						if len(fld.Names) == 0 {
+							// Embedded field: reflection names it after its type,
+							// and so does snapshot.Coverage.
+							if name := embeddedName(fld.Type); name != "" {
+								sd.fields = append(sd.fields, fieldDecl{name: name, pos: fld.Pos()})
+							}
+							continue
+						}
+						for _, id := range fld.Names {
+							sd.fields = append(sd.fields, fieldDecl{name: id.Name, pos: id.Pos()})
+						}
+					}
+					structs[sd.name] = sd
+					order = append(order, sd.name)
+				}
+			}
+		}
+	}
+	if len(manifests) == 0 && len(order) == 0 {
+		return nil
+	}
+
+	hasManifest := map[string]bool{} // struct name → a manifest covers it
+	for _, m := range manifests {
+		sd := matchStruct(structs, m.base)
+		if sd == nil {
+			p.Reportf(m.pos, "%s matches no struct in this package (no type named %q, case-insensitively) — it documents nothing; rename it to <struct>Manifest or delete it", m.name, m.base)
+			continue
+		}
+		hasManifest[sd.name] = true
+		covered := map[string]token.Pos{}
+		for _, k := range m.keys {
+			covered[k.key] = k.pos
+			if k.valueLit && !strings.HasPrefix(k.value, "encoded") && !strings.HasPrefix(k.value, "skip:") {
+				p.Reportf(k.valuePos, "%s[%q] = %q is neither \"encoded...\" nor \"skip: reason\" — the manifest is a ledger, every entry states which", m.name, k.key, k.value)
+			}
+		}
+		fieldSet := map[string]bool{}
+		for _, fd := range sd.fields {
+			fieldSet[fd.name] = true
+			if _, ok := covered[fd.name]; !ok {
+				p.Reportf(fd.pos, "field %s.%s is not in %s — encode it and bump snapshot.Version, or record an explicit \"skip: ...\" entry", sd.name, fd.name, m.name)
+			}
+		}
+		for _, k := range m.keys {
+			if !fieldSet[k.key] {
+				p.Reportf(k.pos, "%s entry %q names no field of %s — remove the stale entry", m.name, k.key, sd.name)
+			}
+		}
+	}
+
+	for _, name := range order {
+		sd := structs[name]
+		if sd.marked && !hasManifest[sd.name] {
+			p.Reportf(sd.pos, "struct %s is marked //snapshot:state but no <x>Manifest matches it — its mutable state would silently fall out of snapshots; add the manifest (and encoder) or drop the marker", sd.name)
+		}
+	}
+	return nil
+}
+
+// collectManifests appends spec to out if it is a
+// `<x>Manifest = map[string]string{...}` value spec.
+func collectManifests(spec ast.Spec, out *[]manifestDecl) {
+	vs, ok := spec.(*ast.ValueSpec)
+	if !ok {
+		return
+	}
+	for i, id := range vs.Names {
+		if !strings.HasSuffix(id.Name, "Manifest") || i >= len(vs.Values) {
+			continue
+		}
+		cl, ok := vs.Values[i].(*ast.CompositeLit)
+		if !ok || !isMapStringString(cl.Type) {
+			continue
+		}
+		m := manifestDecl{
+			name: id.Name,
+			base: strings.TrimSuffix(id.Name, "Manifest"),
+			pos:  id.Pos(),
+		}
+		for _, elt := range cl.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := stringLit(kv.Key)
+			if !ok {
+				continue
+			}
+			mk := manifestKey{key: key, pos: kv.Key.Pos(), valuePos: kv.Value.Pos()}
+			mk.value, mk.valueLit = stringLit(kv.Value)
+			m.keys = append(m.keys, mk)
+		}
+		*out = append(*out, m)
+	}
+}
+
+// matchStruct resolves a manifest base name to its struct: an exact
+// name match wins, then a unique case-insensitive one.
+func matchStruct(structs map[string]*structDecl, base string) *structDecl {
+	if sd, ok := structs[base]; ok {
+		return sd
+	}
+	var found *structDecl
+	for name, sd := range structs {
+		if strings.EqualFold(name, base) {
+			if found != nil {
+				return nil // ambiguous; treat as unmatched
+			}
+			found = sd
+		}
+	}
+	return found
+}
+
+// hasStateMarker reports whether the comment group contains a
+// //snapshot:state directive line.
+func hasStateMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), "//snapshot:state") {
+			return true
+		}
+	}
+	return false
+}
+
+// embeddedName returns the field name reflection gives an embedded
+// field: the bare type name, through pointers and package qualifiers.
+func embeddedName(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return embeddedName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.IndexExpr:
+		return embeddedName(e.X)
+	case *ast.IndexListExpr:
+		return embeddedName(e.X)
+	}
+	return ""
+}
+
+// stringLit unquotes a basic string literal expression.
+func stringLit(expr ast.Expr) (string, bool) {
+	bl, ok := ast.Unparen(expr).(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING || len(bl.Value) < 2 {
+		return "", false
+	}
+	// Manifest keys and values are plain double-quoted literals without
+	// escapes in practice; a strconv.Unquote failure just skips the entry.
+	if bl.Value[0] == '`' {
+		return strings.Trim(bl.Value, "`"), true
+	}
+	s := bl.Value[1 : len(bl.Value)-1]
+	if strings.ContainsRune(s, '\\') {
+		return "", false
+	}
+	return s, true
+}
+
+// isMapStringString matches the ast of `map[string]string`.
+func isMapStringString(expr ast.Expr) bool {
+	mt, ok := expr.(*ast.MapType)
+	if !ok {
+		return false
+	}
+	k, ok := mt.Key.(*ast.Ident)
+	if !ok || k.Name != "string" {
+		return false
+	}
+	v, ok := mt.Value.(*ast.Ident)
+	return ok && v.Name == "string"
+}

@@ -172,6 +172,18 @@ type GPU struct {
 	// TraceRingCap events.
 	TraceRingCap int
 
+	// AuditEvery arms the runtime invariant auditor (internal/audit): the
+	// run loop re-derives the device's conservation laws — scoreboard vs
+	// in-flight writers, collector leases vs bank reservations, MSHR
+	// bookkeeping, occupancy and register/scratchpad budgets, the CPI
+	// stack — at least every AuditEvery cycles, surfacing any violation as
+	// a structured *gpu.AuditError instead of silent state corruption.
+	// Audits run at heartbeat boundaries, so the effective cadence is
+	// AuditEvery rounded up to the next heartbeat (1024 cycles). 0
+	// disables auditing (the production fast path). Auditing never mutates
+	// state: results are byte-identical on or off.
+	AuditEvery int64
+
 	// NoFastForward disables the run loop's idle-cycle fast-forward: the
 	// event-driven skip over cycles in which no SM could issue, decode,
 	// dispatch, or write back. Fast-forward is provably inert — results
@@ -356,6 +368,15 @@ func (g GPU) WithNoFastForward() GPU {
 	return g
 }
 
+// WithAudit returns a copy with the runtime invariant auditor armed at
+// the given cycle cadence (rounded up to heartbeat granularity at run
+// time). The Name is deliberately untouched: auditing observes the same
+// machine without perturbing it.
+func (g GPU) WithAudit(everyCycles int64) GPU {
+	g.AuditEvery = everyCycles
+	return g
+}
+
 // WarpsPerSubCore returns the resident-warp capacity of one sub-core.
 func (g GPU) WarpsPerSubCore() int {
 	n := g.MaxWarpsPerSM / g.SubCoresPerSM
@@ -402,6 +423,7 @@ func (g GPU) Validate() error {
 		{g.SharedMemKBPerSM >= 0, "SharedMemKBPerSM must be >= 0"},
 		{g.TraceSamplePeriod >= 0, "TraceSamplePeriod must be >= 0"},
 		{g.TraceRingCap >= 0, "TraceRingCap must be >= 0"},
+		{g.AuditEvery >= 0, "AuditEvery must be >= 0"},
 	}
 	for _, c := range checks {
 		if !c.ok {

@@ -71,6 +71,8 @@ func (k *Kernel) Validate(cfg *config.GPU) error {
 
 // GPU is a simulated device instance. A GPU is single-use per Run result:
 // Reset rebuilds state between applications.
+//
+//snapshot:state
 type GPU struct {
 	cfg   config.GPU
 	hier  *mem.Hierarchy
@@ -90,6 +92,18 @@ type GPU struct {
 	tracer *trace.Tracer
 	mon    *Monitor
 	met    *devMetrics
+
+	// auditEvery/auditNext drive the runtime invariant auditor
+	// (config.AuditEvery; audit.go). snapFn is the harness's snapshot
+	// hook; curLaunch exposes the active launch to WriteSnapshot; pending
+	// carries a restored mid-kernel launch until ContinueKernels picks it
+	// up (snapshot.go). corruptKind arms a test-only heartbeat corruption.
+	auditEvery  int64
+	auditNext   int64
+	snapFn      func(*GPU) error
+	curLaunch   *launch
+	pending     *resumedLaunch
+	corruptKind string
 }
 
 // devMetrics holds the device's live-telemetry handles plus the
@@ -97,6 +111,8 @@ type GPU struct {
 // heartbeat granularity (monitorPeriod cycles), never per cycle, so the
 // enabled path stays off the critical loop and the disabled path is one
 // nil check per heartbeat.
+//
+//snapshot:state
 type devMetrics struct {
 	cycles  *metrics.Counter
 	instrs  *metrics.Counter
@@ -111,7 +127,7 @@ func New(cfg config.GPU) (*GPU, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	g := &GPU{cfg: cfg}
+	g := &GPU{cfg: cfg, auditEvery: cfg.AuditEvery}
 	g.reset()
 	return g, nil
 }
@@ -257,22 +273,30 @@ func (g *GPU) RunConcurrent(kernels []*Kernel, maxCycles int64) error {
 	if err := g.validateLaunch(kernels); err != nil {
 		return err
 	}
-	startCycles, startInstr := g.cycle, g.run.Instructions
 	if maxCycles <= 0 {
 		maxCycles = DefaultMaxCycles
 	}
 	for _, sm := range g.sms {
 		sm.ResetForKernel()
 	}
-	ls := g.newLaunch(kernels, maxCycles)
+	return g.runLaunch(g.newLaunch(kernels, maxCycles))
+}
+
+// runLaunch drives a prepared launch to completion and finalizes its
+// stats entry. Shared by the fresh path (RunConcurrent) and the
+// snapshot-resume path (ContinueKernels), which must not re-run
+// ResetForKernel or restart the launch bookkeeping.
+func (g *GPU) runLaunch(ls *launch) error {
+	g.curLaunch = ls
+	defer func() { g.curLaunch = nil }()
 	if stop := g.cycleLoop(ls); stop != stopDone {
 		return g.launchError(stop, ls)
 	}
 	g.harvestCacheStats()
 	g.run.Kernels = append(g.run.Kernels, stats.KernelStats{
-		Name:         launchLabel(kernels),
-		Cycles:       g.cycle - startCycles,
-		Instructions: g.run.Instructions - startInstr,
+		Name:         launchLabel(ls.kernels),
+		Cycles:       g.cycle - ls.startCycles,
+		Instructions: g.run.Instructions - ls.startInstr,
 	})
 	if g.met != nil {
 		g.met.kernels.Inc()
@@ -283,6 +307,8 @@ func (g *GPU) RunConcurrent(kernels []*Kernel, maxCycles int64) error {
 
 // launch is one RunConcurrent call's thread-block-scheduler state,
 // hoisted into a struct so the cycle loop itself allocates nothing.
+//
+//snapshot:state
 type launch struct {
 	kernels   []*Kernel
 	maxCycles int64
@@ -297,6 +323,11 @@ type launch struct {
 	totalLeft   int
 	totalBlocks int
 	kPtr, smPtr int
+	// startCycles/startInstr are the device watermarks at launch start,
+	// for the KernelStats delta (and they ride snapshots, so a resumed
+	// launch finalizes the identical entry).
+	startCycles int64
+	startInstr  int64
 	// err carries a placement fault out of the loop (stopFault).
 	err error
 }
@@ -305,12 +336,14 @@ type launch struct {
 // RunConcurrent call outside block materialization.
 func (g *GPU) newLaunch(kernels []*Kernel, maxCycles int64) *launch {
 	ls := &launch{
-		kernels:   kernels,
-		maxCycles: maxCycles,
-		deadline:  g.cycle + maxCycles,
-		nextBlock: make([]int, len(kernels)),
-		specs:     make([]*smcore.BlockSpec, len(kernels)),
-		gidOffset: make([]int64, len(kernels)),
+		kernels:     kernels,
+		maxCycles:   maxCycles,
+		deadline:    g.cycle + maxCycles,
+		nextBlock:   make([]int, len(kernels)),
+		specs:       make([]*smcore.BlockSpec, len(kernels)),
+		gidOffset:   make([]int64, len(kernels)),
+		startCycles: g.cycle,
+		startInstr:  g.run.Instructions,
 	}
 	// Kernel-wide warp IDs must not collide across concurrent kernels;
 	// offset each kernel's GID space.
@@ -425,9 +458,8 @@ func (g *GPU) cycleLoop(ls *launch) loopStop {
 			return stopDeadline
 		}
 		if g.cycle&(monitorPeriod-1) == 0 {
-			g.flushMetrics()
-			if g.mon.beat(g.cycle) {
-				return stopCanceled
+			if stop, stopped := g.heartbeat(ls); stopped {
+				return stop
 			}
 		}
 		// Idle-cycle fast-forward. The issue-streak guard is purely a cost
@@ -543,12 +575,50 @@ func (g *GPU) fastForward(ls *launch) (stop loopStop, stopped, skipped bool) {
 		return stopDeadline, true, true
 	}
 	if g.cycle&(monitorPeriod-1) == 0 {
-		g.flushMetrics()
-		if g.mon.beat(g.cycle) {
-			return stopCanceled, true, true
+		if st, stopped := g.heartbeat(ls); stopped {
+			return st, true, true
 		}
 	}
 	return stopDone, false, true
+}
+
+// heartbeat runs the per-monitorPeriod supervision duties shared by the
+// ticked loop and the fast-forward wake path: metrics flush, monitor
+// beat/cancel poll, the runtime invariant auditor (config.AuditEvery),
+// and the harness's snapshot hook. Deliberately not on the per-cycle
+// path — everything here may allocate.
+//
+// The snapshot hook also runs on the heartbeat that observes a
+// cancellation, before the loop stops: the device is still mid-launch
+// and fully consistent here, so the harness can persist a final frame
+// and a restarted process resumes exactly where the SIGTERM/watchdog
+// kill landed. A hook failure during cancellation is swallowed — the
+// cancel is the fault the caller must see.
+func (g *GPU) heartbeat(ls *launch) (loopStop, bool) {
+	g.flushMetrics()
+	canceled := g.mon.beat(g.cycle)
+	if !canceled {
+		if g.corruptKind != "" {
+			g.applyCorruption()
+		}
+		if g.auditEvery > 0 && g.cycle >= g.auditNext {
+			g.auditNext = g.cycle + g.auditEvery
+			if vs := g.AuditCheck(); len(vs) > 0 {
+				ls.err = &AuditError{Cycle: g.cycle, Violations: vs}
+				return stopFault, true
+			}
+		}
+	}
+	if g.snapFn != nil {
+		if err := g.snapFn(g); err != nil && !canceled {
+			ls.err = fmt.Errorf("gpu: snapshot hook at cycle %d: %w", g.cycle, err)
+			return stopFault, true
+		}
+	}
+	if canceled {
+		return stopCanceled, true
+	}
+	return stopDone, false
 }
 
 // nextWake computes the device-wide next-event cycle: the min over all

@@ -1,0 +1,345 @@
+package gpu
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/program"
+	"repro/internal/smcore"
+	"repro/internal/snapshot"
+	"repro/internal/stats"
+)
+
+// Snapshot field manifests, checked by TestSnapshotCoverage via
+// snapshot.Coverage (see docs/ROBUSTNESS.md for the format).
+var (
+	gpuManifest = map[string]string{
+		"cfg":         "encoded (canonical JSON fingerprint, compared on restore)",
+		"hier":        "encoded",
+		"sms":         "encoded",
+		"run":         "encoded (canonical JSON; restored element-wise to preserve the SMs' stats pointers)",
+		"cycle":       "encoded",
+		"ffCycles":    "encoded",
+		"traceReads":  "encoded (validated: resume requires the same tracing arming)",
+		"issueBucket": "encoded (validated: resume requires the same tracing arming)",
+		"issuePrev":   "encoded when issue tracing is armed",
+		"issueAccum":  "encoded when issue tracing is armed",
+		"issueFill":   "encoded when issue tracing is armed",
+		"tracer":      "skip: observability wiring, reattached via SetTracer",
+		"mon":         "skip: supervision wiring, reattached via SetMonitor",
+		"met":         "skip: telemetry wiring; watermarks re-anchored on restore",
+		"auditEvery":  "skip: audit policy, taken from the restore target's config",
+		"auditNext":   "skip: derived; audits re-arm from the restored cycle",
+		"snapFn":      "skip: harness wiring, reattached via SetSnapshotHook",
+		"curLaunch":   "encoded (as the launch section, when a launch is in flight)",
+		"pending":     "skip: restore-side handoff to ContinueKernels, never live at snapshot time",
+		"corruptKind": "skip: test-only arming, never live in production snapshots",
+	}
+	launchManifest = map[string]string{
+		"kernels":     "encoded (batch size only; kernels are workload artifacts, rebound by Restore)",
+		"maxCycles":   "encoded",
+		"deadline":    "encoded (absolute cycle, so the resumed run faults at the identical point)",
+		"nextBlock":   "encoded",
+		"specs":       "skip: materialized-spec cache, rebuilt deterministically from nextBlock",
+		"gidOffset":   "skip: recomputed from the rebound kernel batch",
+		"totalLeft":   "skip: recomputed from nextBlock",
+		"totalBlocks": "skip: recomputed from the rebound kernel batch",
+		"kPtr":        "encoded",
+		"smPtr":       "encoded",
+		"startCycles": "encoded",
+		"startInstr":  "encoded",
+		"err":         "skip: faulted launches never reach a snapshot boundary",
+	}
+	devMetricsManifest = map[string]string{
+		"cycles":    "skip: telemetry handle",
+		"instrs":    "skip: telemetry handle",
+		"kernels":   "skip: telemetry handle",
+		"lastCycle": "skip: watermark, re-anchored on restore",
+		"lastInstr": "skip: watermark, re-anchored on restore",
+	}
+)
+
+// SetSnapshotHook attaches fn to the run loop's heartbeat: every
+// monitorPeriod cycles the hook may call WriteSnapshot on the quiescent
+// device (between cycles, every conservation law intact). A hook error
+// faults the run. Pass nil to detach. The harness uses this for periodic
+// mid-kernel snapshots (cycle-interval and wall-clock policies live in
+// the hook, not here).
+func (g *GPU) SetSnapshotHook(fn func(*GPU) error) { g.snapFn = fn }
+
+// Cycle returns the device's current simulation cycle.
+func (g *GPU) Cycle() int64 { return g.cycle }
+
+// WriteSnapshot serializes the device's complete mutable state — clock,
+// statistics, thread-block scheduler position, every SM (warps,
+// scoreboards, collectors, execution-port timing, LSU), and the memory
+// hierarchy — as one versioned, checksummed frame. Valid between cycles:
+// from the snapshot hook (mid-kernel) or between RunKernel calls. The
+// frame is deterministic: equal states serialize to equal bytes.
+func (g *GPU) WriteSnapshot(w io.Writer) error {
+	e := snapshot.NewEncoder()
+	e.Section("gpu")
+	cfgJSON, err := json.Marshal(g.cfg)
+	if err != nil {
+		return fmt.Errorf("gpu: snapshot config: %w", err)
+	}
+	e.Bytes(cfgJSON)
+	e.Varint(g.cycle)
+	e.Varint(g.ffCycles)
+	e.Bool(g.traceReads)
+	e.Int(g.issueBucket)
+	if g.issueBucket > 0 {
+		e.Int(g.issueFill)
+		for _, v := range g.issuePrev {
+			e.Varint(v)
+		}
+		for _, v := range g.issueAccum {
+			e.Uvarint(uint64(v))
+		}
+	}
+	runJSON, err := json.Marshal(g.run)
+	if err != nil {
+		return fmt.Errorf("gpu: snapshot stats: %w", err)
+	}
+	e.Bytes(runJSON)
+	if ls := g.curLaunch; ls != nil {
+		e.Bool(true)
+		e.Section("launch")
+		e.Uvarint(uint64(len(ls.kernels)))
+		e.Varint(ls.maxCycles)
+		e.Varint(ls.deadline)
+		e.Varint(ls.startCycles)
+		e.Varint(ls.startInstr)
+		e.Int(ls.kPtr)
+		e.Int(ls.smPtr)
+		for _, nb := range ls.nextBlock {
+			e.Int(nb)
+		}
+	} else {
+		e.Bool(false)
+	}
+	g.hier.EncodeState(e)
+	for _, sm := range g.sms {
+		sm.EncodeState(e)
+	}
+	return e.Finish(w)
+}
+
+// Restore loads a snapshot into a freshly built device of the identical
+// configuration. ks is the application's full kernel sequence — the same
+// workload the snapshot was taken under; mid-kernel snapshots rebind
+// their warps' instruction streams through it (programs are
+// deterministic workload artifacts, rebuilt rather than serialized, and
+// any mismatch fails loudly). After a successful Restore, run
+// ContinueKernels(ks, ...) to resume the simulation.
+func (g *GPU) Restore(r io.Reader, ks []*Kernel) error {
+	d, err := snapshot.NewDecoder(r)
+	if err != nil {
+		return err
+	}
+	d.Section("gpu")
+	wantCfg, err := json.Marshal(g.cfg)
+	if err != nil {
+		return fmt.Errorf("gpu: restore config: %w", err)
+	}
+	gotCfg := d.Bytes()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if string(gotCfg) != string(wantCfg) {
+		return fmt.Errorf("gpu: snapshot was taken on a different configuration (%s, this device is %s)",
+			jsonName(gotCfg), g.cfg.Name)
+	}
+	g.cycle = d.Varint()
+	g.ffCycles = d.Varint()
+	if tr := d.Bool(); tr != g.traceReads {
+		return fmt.Errorf("gpu: snapshot register-read tracing %v, this device %v — arm TraceReads identically before Restore", tr, g.traceReads)
+	}
+	if ib := d.Int(); ib != g.issueBucket {
+		return fmt.Errorf("gpu: snapshot issue tracing bucket %d, this device %d — arm TraceIssue identically before Restore", ib, g.issueBucket)
+	}
+	if g.issueBucket > 0 {
+		g.issueFill = d.Int()
+		for i := range g.issuePrev {
+			g.issuePrev[i] = d.Varint()
+		}
+		for i := range g.issueAccum {
+			g.issueAccum[i] = uint32(d.Uvarint())
+		}
+	}
+	if err := g.restoreRun(d.Bytes()); err != nil {
+		return err
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	g.pending = nil
+	progFor := smcore.ProgramResolver(func(gid int64) (*program.Program, error) {
+		return nil, fmt.Errorf("gpu: snapshot holds resident warp %d but no kernel was in flight", gid)
+	})
+	if d.Bool() {
+		ls, err := g.decodeLaunch(d, ks)
+		if err != nil {
+			return err
+		}
+		g.pending = &resumedLaunch{ls: ls, next: len(g.run.Kernels) + len(ls.kernels)}
+		progFor = resolverFor(ls)
+	}
+	if err := g.hier.RestoreState(d); err != nil {
+		return err
+	}
+	for _, sm := range g.sms {
+		if err := sm.RestoreState(d, progFor); err != nil {
+			return err
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	// Telemetry deltas restart from the restored state: the process that
+	// wrote the snapshot already published everything before it.
+	if g.met != nil {
+		g.met.lastCycle, g.met.lastInstr = g.cycle, g.run.Instructions
+	}
+	g.auditNext = 0
+	return nil
+}
+
+// restoreRun decodes the statistics JSON element-wise into the existing
+// stats.Run: the SMs hold pointers into run.SMs[i] and its SubCores
+// slice, so those arrays must keep their identity while every counter is
+// overwritten.
+func (g *GPU) restoreRun(runJSON []byte) error {
+	var tmp stats.Run
+	if err := json.Unmarshal(runJSON, &tmp); err != nil {
+		return fmt.Errorf("gpu: restore stats: %w", err)
+	}
+	if len(tmp.SMs) != len(g.run.SMs) {
+		return fmt.Errorf("gpu: snapshot stats cover %d SMs, this device has %d", len(tmp.SMs), len(g.run.SMs))
+	}
+	for i := range tmp.SMs {
+		if len(tmp.SMs[i].SubCores) != len(g.run.SMs[i].SubCores) {
+			return fmt.Errorf("gpu: snapshot stats SM %d covers %d sub-cores, this device has %d",
+				i, len(tmp.SMs[i].SubCores), len(g.run.SMs[i].SubCores))
+		}
+		sub := g.run.SMs[i].SubCores
+		copy(sub, tmp.SMs[i].SubCores)
+		tmp.SMs[i].SubCores = sub
+	}
+	subs := g.run.SMs
+	copy(subs, tmp.SMs)
+	tmp.SMs = subs
+	*g.run = tmp
+	return nil
+}
+
+// decodeLaunch rebuilds the in-flight launch from the snapshot plus the
+// caller's kernel sequence: completed launches are counted off the
+// restored stats, the next len-of-batch kernels are the in-flight batch.
+func (g *GPU) decodeLaunch(d *snapshot.Decoder, ks []*Kernel) (*launch, error) {
+	d.Section("launch")
+	nk := int(d.Uvarint())
+	maxCycles := d.Varint()
+	deadline := d.Varint()
+	startCycles := d.Varint()
+	startInstr := d.Varint()
+	kPtr := d.Int()
+	smPtr := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	done := len(g.run.Kernels)
+	if done+nk > len(ks) {
+		return nil, fmt.Errorf("gpu: snapshot is mid-launch %d..%d of the application, but only %d kernels were supplied",
+			done, done+nk, len(ks))
+	}
+	batch := ks[done : done+nk]
+	if err := g.validateLaunch(batch); err != nil {
+		return nil, err
+	}
+	ls := g.newLaunch(batch, maxCycles)
+	ls.deadline = deadline
+	ls.startCycles = startCycles
+	ls.startInstr = startInstr
+	if kPtr < 0 || kPtr >= nk || smPtr < 0 || smPtr >= len(g.sms) {
+		return nil, fmt.Errorf("gpu: snapshot scheduler cursors (kernel %d, SM %d) out of range", kPtr, smPtr)
+	}
+	ls.kPtr, ls.smPtr = kPtr, smPtr
+	ls.totalLeft = 0
+	for i, k := range batch {
+		nb := d.Int()
+		if nb < 0 || nb > k.Blocks {
+			return nil, fmt.Errorf("gpu: snapshot places %d blocks of kernel %s, grid has %d", nb, k.Name, k.Blocks)
+		}
+		ls.nextBlock[i] = nb
+		ls.totalLeft += k.Blocks - nb
+	}
+	return ls, d.Err()
+}
+
+// resolverFor maps kernel-wide warp GIDs back to instruction streams
+// through the launch's GID-offset table.
+func resolverFor(ls *launch) smcore.ProgramResolver {
+	return func(gid int64) (*program.Program, error) {
+		for i := len(ls.kernels) - 1; i >= 0; i-- {
+			if gid < ls.gidOffset[i] {
+				continue
+			}
+			k := ls.kernels[i]
+			local := gid - ls.gidOffset[i]
+			b := local / int64(k.WarpsPerBlock)
+			if b >= int64(k.Blocks) {
+				break
+			}
+			return k.WarpProgram(int(b), int(local%int64(k.WarpsPerBlock))), nil
+		}
+		return nil, fmt.Errorf("gpu: snapshot warp GID %d maps to no in-flight kernel", gid)
+	}
+}
+
+// ContinueKernels resumes a restored device: it drives the restored
+// mid-kernel launch (if any) to completion without re-running the
+// per-kernel resets — the restored scheduler state must survive — and
+// then runs the remaining kernels of the sequence normally. ks must be
+// the same kernel sequence passed to Restore. The combined
+// pre-snapshot + resumed execution is byte-identical to an uninterrupted
+// run of the same application (TestSnapshotResumeInert).
+func (g *GPU) ContinueKernels(ks []*Kernel, maxCycles int64) error {
+	// done counts kernels consumed so far. Between launches it equals the
+	// stats entries (the RunKernels contract: one kernel per launch); a
+	// resumed mid-flight batch knows its own end index, so concurrent
+	// batches resume correctly too.
+	done := len(g.run.Kernels)
+	if p := g.pending; p != nil {
+		g.pending = nil
+		if err := g.runLaunch(p.ls); err != nil {
+			return err
+		}
+		done = p.next
+	}
+	if done > len(ks) {
+		return fmt.Errorf("gpu: device has completed %d kernels, the sequence holds %d", done, len(ks))
+	}
+	return g.RunKernels(ks[done:], maxCycles)
+}
+
+// resumedLaunch carries a restored mid-kernel launch from Restore to
+// ContinueKernels: the launch itself plus the index of the first
+// not-yet-started kernel in the application sequence.
+type resumedLaunch struct {
+	ls   *launch
+	next int
+}
+
+// jsonName extracts the Name field from a config JSON fingerprint for
+// error messages; the raw fingerprint would drown the message.
+func jsonName(cfgJSON []byte) string {
+	var v struct {
+		Name string
+	}
+	if err := json.Unmarshal(cfgJSON, &v); err != nil || v.Name == "" {
+		return "unknown"
+	}
+	return v.Name
+}

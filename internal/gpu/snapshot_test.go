@@ -1,0 +1,333 @@
+package gpu
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/snapshot"
+)
+
+func TestSnapshotCoverage(t *testing.T) {
+	cases := []struct {
+		typ      reflect.Type
+		manifest map[string]string
+	}{
+		{reflect.TypeOf(GPU{}), gpuManifest},
+		{reflect.TypeOf(launch{}), launchManifest},
+		{reflect.TypeOf(devMetrics{}), devMetricsManifest},
+	}
+	for _, c := range cases {
+		if err := snapshot.Coverage(c.typ, c.manifest); err != nil {
+			t.Errorf("%s: %v", c.typ.Name(), err)
+		}
+	}
+}
+
+// snapApp is a three-kernel application exercising every state family a
+// snapshot must carry: global/shared/const memory in flight, barriers,
+// FMA chains, multiple blocks per SM.
+func snapApp() []*Kernel {
+	memB := program.NewBuilder()
+	memB.Loop(48, func(lb *program.Builder) {
+		lb.LDG(4, 1, isa.MemTrait{Pattern: isa.PatCoalesced, Footprint: 1 << 20, StrideBytes: 4})
+		lb.FMA(5, 4, 4, 5)
+		lb.LDS(6, 5, isa.MemTrait{Footprint: 1 << 12, StrideBytes: 4})
+		lb.FMA(7, 6, 6, 7)
+	})
+	memP := memB.MustBuild()
+	barP := fmaThenBarProgram(64, 2)
+	fmaP := fmaProgram(128, 2)
+	return []*Kernel{
+		{Name: "mem", Blocks: 4, WarpsPerBlock: 8, RegsPerThread: 16,
+			WarpProgram: func(b, w int) *program.Program { return memP }},
+		{Name: "bar", Blocks: 2, WarpsPerBlock: 16, RegsPerThread: 16, SharedMemPerBlock: 4096,
+			WarpProgram: func(b, w int) *program.Program { return barP }},
+		{Name: "fma", Blocks: 3, WarpsPerBlock: 8, RegsPerThread: 8,
+			WarpProgram: func(b, w int) *program.Program { return fmaP }},
+	}
+}
+
+// runJSON canonicalizes a run's statistics for byte-equality checks.
+func runJSON(t *testing.T, g *GPU) []byte {
+	t.Helper()
+	j, err := json.Marshal(g.Run())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// captureAt arms a snapshot hook that serializes the device at the first
+// heartbeat at or past the target cycle.
+func captureAt(g *GPU, target int64) *[]byte {
+	var snap []byte
+	g.SetSnapshotHook(func(g *GPU) error {
+		if snap != nil || g.Cycle() < target {
+			return nil
+		}
+		var buf bytes.Buffer
+		if err := g.WriteSnapshot(&buf); err != nil {
+			return err
+		}
+		snap = buf.Bytes()
+		return nil
+	})
+	return &snap
+}
+
+// resumeInert proves restore-then-run is byte-identical to the
+// uninterrupted run for the given configuration and snapshot cycle.
+func resumeInert(t *testing.T, cfg config.GPU, snapCycle int64) {
+	t.Helper()
+	ks := snapApp()
+
+	golden, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := golden.RunKernels(ks, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := runJSON(t, golden)
+
+	interrupted, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := captureAt(interrupted, snapCycle)
+	if err := interrupted.RunKernels(ks, 0); err != nil {
+		t.Fatal(err)
+	}
+	if *snap == nil {
+		t.Fatalf("no heartbeat at or past cycle %d; app finished at %d", snapCycle, interrupted.Cycle())
+	}
+	// The interrupted run, left to finish, must itself be unperturbed by
+	// the snapshot hook.
+	if got := runJSON(t, interrupted); !bytes.Equal(got, want) {
+		t.Fatal("taking a snapshot perturbed the run")
+	}
+
+	resumed, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Restore(bytes.NewReader(*snap), ks); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if vs := resumed.AuditCheck(); len(vs) != 0 {
+		t.Fatalf("audit violations on the restored device: %v", vs)
+	}
+	if err := resumed.ContinueKernels(ks, 0); err != nil {
+		t.Fatalf("ContinueKernels: %v", err)
+	}
+	if got := runJSON(t, resumed); !bytes.Equal(got, want) {
+		t.Fatalf("resumed run diverged from uninterrupted run\nwant %s\ngot  %s", want, got)
+	}
+}
+
+func TestSnapshotResumeInert(t *testing.T) {
+	base := config.VoltaV100()
+	base.NumSMs = 2
+	rba := base.WithScheduler(config.SchedRBA).WithBankStealing()
+	for _, tc := range []struct {
+		name string
+		cfg  config.GPU
+	}{
+		{"gto", base},
+		{"rba-stealing", rba},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, at := range []int64{1, 5_000} {
+				resumeInert(t, tc.cfg, at)
+			}
+		})
+	}
+}
+
+func TestSnapshotResumeConcurrentBatch(t *testing.T) {
+	cfg := config.VoltaV100()
+	cfg.NumSMs = 2
+	ks := snapApp()
+
+	golden, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := golden.RunConcurrent(ks, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := runJSON(t, golden)
+
+	interrupted, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := captureAt(interrupted, 1)
+	if err := interrupted.RunConcurrent(ks, 0); err != nil {
+		t.Fatal(err)
+	}
+	if *snap == nil {
+		t.Fatal("no snapshot captured")
+	}
+
+	resumed, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Restore(bytes.NewReader(*snap), ks); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if err := resumed.ContinueKernels(ks, 0); err != nil {
+		t.Fatalf("ContinueKernels: %v", err)
+	}
+	if got := runJSON(t, resumed); !bytes.Equal(got, want) {
+		t.Fatal("resumed concurrent batch diverged from uninterrupted run")
+	}
+}
+
+func TestSnapshotRejectsConfigMismatch(t *testing.T) {
+	cfg := config.VoltaV100()
+	cfg.NumSMs = 2
+	ks := snapApp()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := captureAt(g, 1)
+	if err := g.RunKernels(ks, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	other := cfg.WithSMs(4)
+	h, err := New(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Restore(bytes.NewReader(*snap), ks); err == nil {
+		t.Fatal("restore into a different configuration succeeded")
+	}
+}
+
+func TestSnapshotRejectsWorkloadMismatch(t *testing.T) {
+	cfg := config.VoltaV100()
+	cfg.NumSMs = 2
+	ks := snapApp()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := captureAt(g, 1)
+	if err := g.RunKernels(ks, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same config, different instruction streams: cursor rebinding must
+	// detect the drift rather than resume into the wrong program.
+	wrong := snapApp()
+	p := fmaProgram(16, 1)
+	wrong[0].WarpProgram = func(b, w int) *program.Program { return p }
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Restore(bytes.NewReader(*snap), wrong); err == nil {
+		t.Fatal("restore against a different workload succeeded")
+	}
+}
+
+func TestAuditedRunIsCleanAndUnperturbed(t *testing.T) {
+	cfg := config.VoltaV100()
+	cfg.NumSMs = 2
+	ks := snapApp()
+
+	plain, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.RunKernels(ks, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	audited, err := New(cfg.WithAudit(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := audited.RunKernels(ks, 0); err != nil {
+		t.Fatalf("audited run faulted: %v", err)
+	}
+	if !bytes.Equal(runJSON(t, plain), runJSON(t, audited)) {
+		t.Fatal("arming the auditor changed the simulation results")
+	}
+}
+
+func TestAuditCatchesArmedCorruption(t *testing.T) {
+	for _, tc := range []struct{ kind, rule string }{
+		{"scoreboard", "scoreboard"},
+		{"lease", "lease"},
+		{"mshr", "mshr"},
+	} {
+		t.Run(tc.kind, func(t *testing.T) {
+			cfg := config.VoltaV100()
+			cfg.NumSMs = 1
+			g, err := New(cfg.WithAudit(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.ArmCorruptionForTest(tc.kind)
+			err = g.RunKernels(snapApp(), 0)
+			var ae *AuditError
+			if !errors.As(err, &ae) {
+				t.Fatalf("corrupted run returned %v, want *AuditError", err)
+			}
+			found := false
+			for _, v := range ae.Violations {
+				if v.Rule == tc.rule {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no %q violation in %v", tc.rule, ae.Violations)
+			}
+			if ae.Cycle == 0 || ae.Error() == "" {
+				t.Fatalf("fault lost context: %v", ae)
+			}
+		})
+	}
+}
+
+// BenchmarkAuditOverhead quantifies the auditor's cost: disabled it is
+// one comparison per heartbeat; enabled it re-derives every conservation
+// law each audit period. docs/ROBUSTNESS.md records the measured ratio.
+func BenchmarkAuditOverhead(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		every int64
+	}{
+		{"disabled", 0},
+		{"enabled-4k", 4096},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := config.VoltaV100()
+			cfg.NumSMs = 1
+			cfg.AuditEvery = tc.every
+			p := fmaProgram(256, 2)
+			for i := 0; i < b.N; i++ {
+				g, err := New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				k := &Kernel{Name: "bench", Blocks: 4, WarpsPerBlock: 16, RegsPerThread: 8,
+					WarpProgram: func(bk, w int) *program.Program { return p }}
+				if err := g.RunKernel(k, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -43,12 +44,61 @@ type checkpointWriter struct {
 }
 
 // openCheckpoint opens (creating or appending) the checkpoint file.
+// A torn final line left by a crash mid-append is truncated away first:
+// appending after a torn tail would concatenate the new record onto the
+// partial one, corrupting both — the loader would then reject the file
+// outright (a malformed non-final line is fatal) and the whole
+// checkpoint, not just one record, would be lost.
 func openCheckpoint(path string) (*checkpointWriter, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("harness: open checkpoint: %w", err)
 	}
+	if err := repairTail(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("harness: repair checkpoint tail: %w", err)
+	}
 	return &checkpointWriter{f: f, enc: json.NewEncoder(f)}, nil
+}
+
+// repairTail truncates f to its last newline-terminated record. A file
+// ending in '\n' (or empty) is untouched; a file with no newline at all
+// is truncated to empty.
+func repairTail(f *os.File) error {
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil
+	}
+	one := make([]byte, 1)
+	if _, err := f.ReadAt(one, size-1); err != nil {
+		return err
+	}
+	if one[0] == '\n' {
+		return nil
+	}
+	// Scan backward in chunks for the last newline before the torn tail.
+	const chunk = 64 << 10
+	keep, pos := int64(0), size-1
+	for pos > 0 {
+		n := int64(chunk)
+		if n > pos {
+			n = pos
+		}
+		buf := make([]byte, n)
+		if _, err := f.ReadAt(buf, pos-n); err != nil {
+			return err
+		}
+		if i := bytes.LastIndexByte(buf, '\n'); i >= 0 {
+			keep = pos - n + int64(i) + 1
+			break
+		}
+		pos -= n
+	}
+	return f.Truncate(keep)
 }
 
 // Write appends one completed cell. Encoder output ends with a newline,

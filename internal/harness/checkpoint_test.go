@@ -115,6 +115,89 @@ func TestCheckpointVersionMismatch(t *testing.T) {
 	}
 }
 
+// A crash mid-append leaves a torn final line; a later sweep that opens
+// the same checkpoint and appends must not concatenate its first record
+// onto the torn tail — that would corrupt both records and make the
+// loader reject the whole file.
+func TestCheckpointAppendAfterTornTail(t *testing.T) {
+	path := ckptPath(t)
+	w, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write("appA", "gto", &stats.Run{Cycles: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: a partial record with no trailing newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"v":1,"app":"appB","config":"rba","run":{"Cyc`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// The resumed sweep repairs the tail on open, then appends cleanly.
+	w, err = openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write("appB", "rba", &stats.Run{Cycles: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	done, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("checkpoint unreadable after append-past-torn-tail: %v", err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("loaded %d cells, want 2", len(done))
+	}
+	if a := done[ckptKey("appA", "gto")]; a == nil || a.Cycles != 100 {
+		t.Errorf("appA/gto = %+v, want Cycles=100", a)
+	}
+	if b := done[ckptKey("appB", "rba")]; b == nil || b.Cycles != 200 {
+		t.Errorf("appB/rba = %+v, want Cycles=200 (the re-appended record)", b)
+	}
+}
+
+// Degenerate torn tails: a file that is nothing but a partial record
+// truncates to empty; a healthy file is untouched byte for byte.
+func TestCheckpointRepairTailEdgeCases(t *testing.T) {
+	path := ckptPath(t)
+	if err := os.WriteFile(path, []byte(`{"v":1,"app":"a"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if b, err := os.ReadFile(path); err != nil || len(b) != 0 {
+		t.Fatalf("newline-free file should repair to empty, got %q (%v)", b, err)
+	}
+
+	healthy := `{"v":1,"app":"appA","config":"gto","run":{"Cycles":1}}` + "\n"
+	if err := os.WriteFile(path, []byte(healthy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err = openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if b, err := os.ReadFile(path); err != nil || string(b) != healthy {
+		t.Fatalf("healthy file modified by repair: %q (%v)", b, err)
+	}
+}
+
 // A cell re-run after a fault appends a second record; resume must take
 // the newest.
 func TestCheckpointLastRecordWins(t *testing.T) {

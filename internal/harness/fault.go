@@ -26,12 +26,17 @@ const (
 	FaultTimeout
 	// FaultCanceled: the surrounding context was canceled (shutdown).
 	FaultCanceled
+	// FaultAudit: the runtime invariant auditor (config.AuditEvery) found
+	// broken conservation laws — the simulation state is corrupt and its
+	// statistics cannot be trusted (*gpu.AuditError carries the
+	// violations).
+	FaultAudit
 
 	numFaultKinds
 )
 
 var faultKindNames = [numFaultKinds]string{
-	"panic", "error", "deadline", "watchdog", "timeout", "canceled",
+	"panic", "error", "deadline", "watchdog", "timeout", "canceled", "audit",
 }
 
 // String names the fault kind.

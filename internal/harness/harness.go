@@ -19,9 +19,15 @@
 //  3. Checkpoint/resume — completed cells stream to an append-only JSONL
 //     checkpoint; a resumed sweep skips them and re-runs only the
 //     faulted/killed/missing cells (checkpoint.go).
-//  4. Fault injection — a test-only Injector hook (inject.go) makes
-//     chosen cells panic, hang, or error, so chaos tests can prove all
-//     of the above end to end.
+//  4. Snapshot/resume — interrupted cells themselves resume mid-kernel:
+//     periodic and cancellation-time device snapshots (snapshot.go,
+//     internal/snapshot, docs/ROBUSTNESS.md) let a restarted sweep
+//     continue a half-finished cell with byte-identical final results.
+//     The runtime invariant auditor (config.AuditEvery) surfaces state
+//     corruption as a structured FaultAudit instead of silent bad data.
+//  5. Fault injection — a test-only Injector hook (inject.go) makes
+//     chosen cells panic, hang, error, or corrupt their own state, so
+//     chaos tests can prove all of the above end to end.
 package harness
 
 import (
@@ -71,6 +77,27 @@ type Options struct {
 	// writes each fault's dump there ("" = no diagnostics; faulted cells
 	// then carry stack and heartbeat only).
 	DiagDir string
+	// SnapshotDir arms mid-kernel state snapshots (snapshot.go): each
+	// cell persists its full device state to <dir>/<app>__<config>.snap
+	// on the cadences below, plus a final frame when the cell is canceled
+	// (SIGTERM, watchdog, timeout) — so an interrupted sweep restarted
+	// with ResumeSnapshots continues each cell mid-kernel with
+	// byte-identical final statistics ("" = no snapshots).
+	SnapshotDir string
+	// SnapshotInterval is the simulated-cycle period between periodic
+	// snapshots (rounded up to the device heartbeat; 0 = no cycle-driven
+	// snapshots). With both intervals zero, only the final
+	// cancellation frame is written.
+	SnapshotInterval int64
+	// SnapshotWall is the wall-clock period between periodic snapshots
+	// (0 = no wall-driven snapshots). Useful when cells' cycle rates
+	// vary wildly: it bounds re-simulation time lost to a kill -9, which
+	// skips the cancellation frame.
+	SnapshotWall time.Duration
+	// ResumeSnapshots resumes each cell from its SnapshotDir frame when
+	// one exists. A frame that fails to restore (version, config, or
+	// workload drift) is discarded and the cell restarts fresh.
+	ResumeSnapshots bool
 	// Adapt, when non-nil, derives the cell's device configuration from
 	// the sweep configuration and the application (exp.DeviceFor's
 	// per-suite memory scaling).
@@ -195,6 +222,11 @@ func Run(ctx context.Context, cfgs []config.GPU, names []string, apps []workload
 			return nil, fmt.Errorf("harness: diagnostics dir: %w", err)
 		}
 	}
+	if opt.SnapshotDir != "" {
+		if err := os.MkdirAll(opt.SnapshotDir, 0o755); err != nil {
+			return nil, fmt.Errorf("harness: snapshot dir: %w", err)
+		}
+	}
 
 	var cells []Cell
 	for i := range apps {
@@ -302,6 +334,12 @@ func RunOne(ctx context.Context, cfg config.GPU, app workloads.App, opt Options)
 	if opt.Adapt != nil {
 		cfg = opt.Adapt(cfg, app)
 	}
+	if opt.SnapshotDir != "" {
+		if err := os.MkdirAll(opt.SnapshotDir, 0o755); err != nil {
+			return nil, &SimFault{App: app.Name, Config: cfg.Name, Kind: FaultError,
+				Err: fmt.Errorf("harness: snapshot dir: %w", err)}
+		}
+	}
 	opt.sm = newSweepMetrics(opt.Metrics)
 	opt.sm.sweepShape(1, 0)
 	run, _, fault := runCell(ctx, cfg, app, cfg.Name, opt)
@@ -321,7 +359,7 @@ func runCell(ctx context.Context, cfg config.GPU, app workloads.App, cfgName str
 		maxCycles = gpu.DefaultMaxCycles
 	}
 	start := time.Now()
-	run, fault := runCellOnce(ctx, cfg, app, cfgName, opt, maxCycles)
+	run, fault := runCellOnce(ctx, cfg, app, cfgName, opt, maxCycles, opt.ResumeSnapshots)
 	if fault != nil && fault.Kind == FaultDeadline && opt.RetryFactor >= 0 {
 		factor := opt.RetryFactor
 		if factor == 0 {
@@ -330,7 +368,13 @@ func runCell(ctx context.Context, cfg config.GPU, app workloads.App, cfgName str
 		opt.logf("harness: %s on %s hit the %d-cycle cap; retrying once at %d",
 			app.Name, cfgName, maxCycles, maxCycles*factor)
 		opt.sm.retried()
-		run, fault = runCellOnce(ctx, cfg, app, cfgName, opt, maxCycles*factor)
+		// The frame written during the capped attempt carries the old
+		// absolute deadline; resuming it would re-fault immediately, so the
+		// retry starts fresh.
+		if opt.SnapshotDir != "" {
+			os.Remove(snapPath(opt.SnapshotDir, app.Name, cfgName))
+		}
+		run, fault = runCellOnce(ctx, cfg, app, cfgName, opt, maxCycles*factor, false)
 		if fault != nil {
 			fault.Retried = true
 		}
@@ -344,8 +388,11 @@ func runCell(ctx context.Context, cfg config.GPU, app workloads.App, cfgName str
 	return run, wall, nil
 }
 
-// runCellOnce is one supervised attempt at a cell.
-func runCellOnce(ctx context.Context, cfg config.GPU, app workloads.App, cfgName string, opt Options, maxCycles int64) (run *stats.Run, fault *SimFault) {
+// runCellOnce is one supervised attempt at a cell. resume allows the
+// attempt to continue from an existing snapshot frame (the retry path
+// disables it, since a raised cycle cap invalidates the frame's
+// deadline).
+func runCellOnce(ctx context.Context, cfg config.GPU, app workloads.App, cfgName string, opt Options, maxCycles int64, resume bool) (run *stats.Run, fault *SimFault) {
 	mon := &gpu.Monitor{}
 	stop := supervise(ctx, mon, opt)
 	defer stop()
@@ -379,8 +426,10 @@ func runCellOnce(ctx context.Context, cfg config.GPU, app workloads.App, cfgName
 		}
 	}()
 
+	inj := InjectNone
 	if opt.Injector != nil {
-		switch opt.Injector(app.Name, cfgName) {
+		inj = opt.Injector(app.Name, cfgName)
+		switch inj {
 		case InjectPanic:
 			panic("harness: injected panic")
 		case InjectError:
@@ -398,6 +447,12 @@ func runCellOnce(ctx context.Context, cfg config.GPU, app workloads.App, cfgName
 			f := &SimFault{Kind: kindForReason(mon.Reason()), Err: errors.New(mon.Reason())}
 			f.DumpPath = writeDump(opt, app.Name, cfgName, f, tr)
 			return nil, f
+		case InjectCorrupt:
+			// The corruption is only observable through the auditor; arm it
+			// at heartbeat cadence if the configuration left it off.
+			if cfg.AuditEvery == 0 {
+				cfg.AuditEvery = 1
+			}
 		}
 	}
 
@@ -405,27 +460,69 @@ func runCellOnce(ctx context.Context, cfg config.GPU, app workloads.App, cfgName
 	if err != nil {
 		return nil, &SimFault{Kind: FaultError, Err: err}
 	}
+	if inj == InjectCorrupt {
+		g.ArmCorruptionForTest("scoreboard")
+	}
+
+	// Snapshot resume: a frame left by an interrupted earlier run (final
+	// cancellation frame or the last periodic one) continues mid-kernel.
+	// A frame that does not restore is discarded — Restore may have
+	// half-mutated the device, so the fresh path rebuilds it.
+	snap := newCellSnapshotter(opt, app.Name, cfgName, mon)
+	resumed := false
+	if snap != nil && resume {
+		ok, rerr := snap.tryResume(g, app.Kernels)
+		if rerr != nil {
+			opt.logf("harness: %s on %s: snapshot unusable, restarting fresh: %v", app.Name, cfgName, rerr)
+			snap.discard()
+			if g, err = gpu.New(cfg); err != nil {
+				return nil, &SimFault{Kind: FaultError, Err: err}
+			}
+			if inj == InjectCorrupt {
+				g.ArmCorruptionForTest("scoreboard")
+			}
+		} else if ok {
+			resumed = true
+			opt.sm.snapshotResumed()
+			opt.logf("harness: %s on %s: resumed from snapshot at cycle %d", app.Name, cfgName, g.Cycle())
+		}
+	}
+
 	g.SetMonitor(mon)
 	g.SetMetrics(opt.Metrics)
 	if tr != nil {
 		g.SetTracer(tr)
 	}
-	if err := g.RunKernels(app.Kernels, maxCycles); err != nil {
-		f := &SimFault{Cycle: mon.Cycle(), Err: err}
+	if snap != nil {
+		g.SetSnapshotHook(snap.hook)
+	}
+	runErr := error(nil)
+	if resumed {
+		runErr = g.ContinueKernels(app.Kernels, maxCycles)
+	} else {
+		runErr = g.RunKernels(app.Kernels, maxCycles)
+	}
+	if runErr != nil {
+		f := &SimFault{Cycle: mon.Cycle(), Err: runErr}
 		var cle *gpu.CycleLimitError
 		var ce *gpu.CancelError
+		var ae *gpu.AuditError
 		switch {
-		case errors.As(err, &cle):
+		case errors.As(runErr, &cle):
 			f.Kind = FaultDeadline
-		case errors.As(err, &ce):
+		case errors.As(runErr, &ce):
 			f.Kind = kindForReason(ce.Reason)
 			f.Cycle = ce.Cycle
+		case errors.As(runErr, &ae):
+			f.Kind = FaultAudit
+			f.Cycle = ae.Cycle
 		default:
 			f.Kind = FaultError
 		}
 		f.DumpPath = writeDump(opt, app.Name, cfgName, f, tr)
 		return nil, f
 	}
+	snap.discard()
 	return g.Run(), nil
 }
 

@@ -19,6 +19,10 @@ const (
 	InjectHang
 	// InjectError returns ErrInjected from the cell.
 	InjectError
+	// InjectCorrupt arms a mid-kernel scoreboard corruption inside the
+	// cell's device (gpu.ArmCorruptionForTest) and forces the invariant
+	// auditor on, exercising the corruption → FaultAudit path end to end.
+	InjectCorrupt
 )
 
 // ErrInjected is the error an InjectError cell fails with.

@@ -1,0 +1,236 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/workloads"
+)
+
+func runStatsJSON(t *testing.T, r any) string {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// A canceled cell writes a final snapshot frame on its last heartbeat,
+// and a restarted run with ResumeSnapshots continues mid-kernel to the
+// exact statistics an uninterrupted run produces. This is the SIGTERM
+// drain path end to end: signal → context cancel → final frame →
+// restart → resume.
+func TestCanceledCellResumesFromFinalSnapshot(t *testing.T) {
+	cfg, app := testCfg("base"), testApp("snap", 500_000)
+	dir := t.TempDir()
+
+	golden, fault := RunOne(context.Background(), cfg, app, Options{})
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	want := runStatsJSON(t, golden)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reg := metrics.New()
+	run, fault := RunOne(ctx, cfg, app, Options{
+		SnapshotDir: dir,
+		Metrics:     reg,
+		Logf:        t.Logf,
+	})
+	if run != nil || fault == nil || fault.Kind != FaultCanceled {
+		t.Fatalf("run=%v fault=%v, want a canceled fault", run, fault)
+	}
+	snapFile := snapPath(dir, app.Name, cfg.Name)
+	if _, err := os.Stat(snapFile); err != nil {
+		t.Fatalf("canceled cell left no final snapshot frame: %v", err)
+	}
+
+	run, fault = RunOne(context.Background(), cfg, app, Options{
+		SnapshotDir:     dir,
+		ResumeSnapshots: true,
+		Metrics:         reg,
+		Logf:            t.Logf,
+	})
+	if fault != nil {
+		t.Fatalf("resumed cell faulted: %v", fault)
+	}
+	if got := runStatsJSON(t, run); got != want {
+		t.Fatalf("resumed run diverged from uninterrupted run\nwant %s\ngot  %s", want, got)
+	}
+	m := newSweepMetrics(reg)
+	if got := m.snapResumes.Value(); got != 1 {
+		t.Errorf("sweep_snapshot_resumes_total = %d, want 1", got)
+	}
+	if m.snapWrites.Value() == 0 {
+		t.Error("sweep_snapshot_writes_total = 0 after a final frame was written")
+	}
+	if _, err := os.Stat(snapFile); !os.IsNotExist(err) {
+		t.Errorf("completed cell did not discard its snapshot frame: %v", err)
+	}
+}
+
+// Periodic cycle-interval snapshots are written during a healthy run and
+// discarded on completion, leaving the snapshot directory empty.
+func TestPeriodicSnapshotsWrittenAndDiscarded(t *testing.T) {
+	cfg, app := testCfg("base"), testApp("periodic", 20_000)
+	dir := t.TempDir()
+	reg := metrics.New()
+	run, fault := RunOne(context.Background(), cfg, app, Options{
+		SnapshotDir:      dir,
+		SnapshotInterval: 2048,
+		Metrics:          reg,
+	})
+	if fault != nil || run == nil {
+		t.Fatalf("run=%v fault=%v", run, fault)
+	}
+	m := newSweepMetrics(reg)
+	if m.snapWrites.Value() == 0 {
+		t.Error("no periodic snapshot frames written")
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Errorf("snapshot dir not cleaned after success: %v", left)
+	}
+}
+
+// An unreadable snapshot frame must not wedge the cell: the harness
+// discards it, logs the fallback, and re-simulates from cycle zero with
+// identical results.
+func TestCorruptSnapshotFallsBackFresh(t *testing.T) {
+	cfg, app := testCfg("base"), testApp("fallback", 5_000)
+	dir := t.TempDir()
+
+	golden, fault := RunOne(context.Background(), cfg, app, Options{})
+	if fault != nil {
+		t.Fatal(fault)
+	}
+
+	if err := os.WriteFile(snapPath(dir, app.Name, cfg.Name), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var logs []string
+	run, fault := RunOne(context.Background(), cfg, app, Options{
+		SnapshotDir:     dir,
+		ResumeSnapshots: true,
+		Logf:            func(f string, args ...any) { logs = append(logs, fmt.Sprintf(f, args...)) },
+	})
+	if fault != nil {
+		t.Fatalf("fresh fallback faulted: %v", fault)
+	}
+	if got, want := runStatsJSON(t, run), runStatsJSON(t, golden); got != want {
+		t.Fatal("fresh fallback diverged from a plain run")
+	}
+	if !strings.Contains(strings.Join(logs, "\n"), "snapshot unusable") {
+		t.Errorf("fallback was not logged: %q", logs)
+	}
+}
+
+// An injected mid-kernel corruption surfaces as a structured FaultAudit
+// carrying the *gpu.AuditError, not as silent bad statistics.
+func TestInjectCorruptBecomesAuditFault(t *testing.T) {
+	cfg, app := testCfg("base"), testApp("corrupt", 20_000)
+	reg := metrics.New()
+	run, fault := RunOne(context.Background(), cfg, app, Options{
+		Metrics:  reg,
+		Injector: InjectFault(map[string]Injection{"corrupt/base": InjectCorrupt}),
+		Logf:     t.Logf,
+	})
+	if run != nil || fault == nil {
+		t.Fatalf("run=%v fault=%v, want an audit fault", run, fault)
+	}
+	if fault.Kind != FaultAudit {
+		t.Fatalf("fault kind = %v, want audit (%v)", fault.Kind, fault)
+	}
+	var ae *gpu.AuditError
+	if !errors.As(fault, &ae) {
+		t.Fatalf("audit fault must unwrap to *gpu.AuditError, got %v", fault)
+	}
+	if len(ae.Violations) == 0 || ae.Cycle == 0 {
+		t.Fatalf("audit error lost its evidence: %+v", ae)
+	}
+	if fault.Cycle != ae.Cycle {
+		t.Errorf("fault cycle %d != audit cycle %d", fault.Cycle, ae.Cycle)
+	}
+	m := newSweepMetrics(reg)
+	if got := m.faults[FaultAudit].Value(); got != 1 {
+		t.Errorf("sweep_faults_total{kind=audit} = %d, want 1", got)
+	}
+}
+
+// A sweep with snapshots armed behaves identically to one without: the
+// chaos injections (including state corruption) classify correctly, the
+// healthy cells complete, and the injector's one-shot semantics mean a
+// re-run with ResumeSnapshots heals every fault — resuming the corrupt
+// cell's clean frame where one was left, or restarting fresh.
+func TestChaosSweepWithSnapshots(t *testing.T) {
+	cfgs := []config.GPU{testCfg("cfgA"), testCfg("cfgB")}
+	apps := []workloads.App{testApp("app0", 20_000), testApp("app1", 20_000)}
+	dir := t.TempDir()
+	opt := Options{
+		Workers:          4,
+		WatchdogInterval: 50 * time.Millisecond,
+		SnapshotDir:      filepath.Join(dir, "snaps"),
+		SnapshotInterval: 2048,
+		ResumeSnapshots:  true,
+		CheckpointPath:   filepath.Join(dir, "chaos.ckpt"),
+		Injector: InjectFault(map[string]Injection{
+			"app0/cfgA": InjectCorrupt,
+			"app1/cfgB": InjectHang,
+		}),
+		Logf: t.Logf,
+	}
+
+	res, err := Run(context.Background(), cfgs, nil, apps, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Faults) != 2 {
+		t.Fatalf("got %d faults, want the 2 injected: %v", len(res.Faults), res.Faults)
+	}
+	kinds := map[string]FaultKind{}
+	for _, f := range res.Faults {
+		kinds[f.App+"/"+f.Config] = f.Kind
+	}
+	if kinds["app0/cfgA"] != FaultAudit {
+		t.Errorf("corrupt cell fault = %v, want audit", kinds["app0/cfgA"])
+	}
+	if kinds["app1/cfgB"] != FaultWatchdog {
+		t.Errorf("hung cell fault = %v, want watchdog", kinds["app1/cfgB"])
+	}
+
+	// Second pass: injections are spent, so the faulted cells run clean
+	// and the whole matrix completes.
+	res2, err := Run(context.Background(), cfgs, nil, apps, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Complete() {
+		t.Fatalf("resume left faults: %v", res2.Errs.Err())
+	}
+	if res2.Resumed != 2 || res2.Executed != 2 {
+		t.Errorf("resume: resumed %d, executed %d; want 2, 2", res2.Resumed, res2.Executed)
+	}
+	// Completed cells discard their frames; nothing lingers.
+	left, err := filepath.Glob(filepath.Join(dir, "snaps", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Errorf("snapshot frames left after a complete sweep: %v", left)
+	}
+}

@@ -8,6 +8,8 @@ package mem
 
 // Cache is a set-associative, write-through, no-write-allocate cache with
 // LRU replacement, tracking only tags (the simulator carries no data).
+//
+//snapshot:state
 type Cache struct {
 	sets      int
 	assoc     int

@@ -11,6 +11,8 @@ import (
 // the DRAM channels) as a single queue: each transaction occupies the
 // channel for lineBytes/bytesPerCycle cycles and waits behind earlier
 // traffic.
+//
+//snapshot:state
 type bwChannel struct {
 	nextFree    int64
 	cycPerLine  int64
@@ -77,6 +79,8 @@ func (ch *bwChannel) queueDelay(now int64) int64 {
 
 // mshr tracks outstanding line fills so that misses to an in-flight line
 // merge instead of consuming bandwidth twice.
+//
+//snapshot:state
 type mshr struct {
 	pending map[uint64]int64 // line -> completion cycle
 	// minDone is a lower bound on the earliest pending completion. Inserts
@@ -142,6 +146,8 @@ func (m *mshr) insert(line uint64, done int64) {
 // queueing delays derived from channel occupancy. This keeps 112-app
 // sweeps fast while preserving the relative pressure the paper's
 // workloads exert.
+//
+//snapshot:state
 type Hierarchy struct {
 	cfg  config.GPU
 	l1   []*Cache

@@ -64,6 +64,8 @@ func BankWithOffset(off int, reg isa.Reg, banks int) int {
 }
 
 // readReq is a pending source-operand read queued at a bank.
+//
+//snapshot:state
 type readReq struct {
 	cu     int8
 	stolen bool
@@ -72,6 +74,8 @@ type readReq struct {
 // WriteReq is a pending destination-register writeback. The sub-core
 // enqueues one per completed instruction and learns of the grant via
 // GrantedWrites, at which point the scoreboard entry clears.
+//
+//snapshot:state
 type WriteReq struct {
 	// WarpIdx identifies the warp within the SM (opaque to this package).
 	WarpIdx int32
@@ -82,6 +86,8 @@ type WriteReq struct {
 }
 
 // CollectorUnit stages one warp instruction while its operands are read.
+//
+//snapshot:state
 type CollectorUnit struct {
 	// Valid marks the CU occupied.
 	Valid bool
@@ -108,6 +114,8 @@ type CollectorUnit struct {
 func (c *CollectorUnit) Ready() bool { return c.Valid && c.Pending == 0 }
 
 // Collector is the operand collector + arbitration unit of one sub-core.
+//
+//snapshot:state
 type Collector struct {
 	cus   []CollectorUnit
 	banks int

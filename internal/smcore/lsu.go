@@ -8,6 +8,8 @@ import (
 )
 
 // lsuEntry is one memory instruction queued at the SM-shared LSU.
+//
+//snapshot:state
 type lsuEntry struct {
 	warpIdx int32
 	subCore int8
@@ -19,6 +21,8 @@ type lsuEntry struct {
 // split. It admits cfg.LSUWidthPerSM instructions per cycle, serializes
 // their line transactions through a single coalescer port, and schedules
 // writebacks for loads.
+//
+//snapshot:state
 type LSU struct {
 	sm       *SM
 	queue    []lsuEntry

@@ -33,6 +33,8 @@ type BlockSpec struct {
 func (b *BlockSpec) Warps() int { return len(b.Programs) }
 
 // block is a resident thread block's bookkeeping on an SM.
+//
+//snapshot:state
 type block struct {
 	active         bool
 	kernelBlockID  int
@@ -50,6 +52,8 @@ type block struct {
 type subRoom struct{ slots, regs int }
 
 // wbEvent is a scheduled register writeback (execution or load return).
+//
+//snapshot:state
 type wbEvent struct {
 	cycle   int64
 	warpIdx int32
@@ -106,6 +110,8 @@ func (h *wbHeap) pop() wbEvent {
 
 // SM is one streaming multiprocessor: sub-cores, the shared LSU, resident
 // warps/blocks, and the warp→sub-core assigner.
+//
+//snapshot:state
 type SM struct {
 	id       int
 	cfg      *config.GPU

@@ -1,0 +1,264 @@
+package smcore
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/program"
+	"repro/internal/snapshot"
+	"repro/internal/stats"
+)
+
+func TestSMSnapshotCoverage(t *testing.T) {
+	cases := []struct {
+		typ      reflect.Type
+		manifest map[string]string
+	}{
+		{reflect.TypeOf(SM{}), smManifest},
+		{reflect.TypeOf(Warp{}), warpManifest},
+		{reflect.TypeOf(block{}), blockManifest},
+		{reflect.TypeOf(wbEvent{}), wbEventManifest},
+		{reflect.TypeOf(SubCore{}), subCoreManifest},
+		{reflect.TypeOf(execUnit{}), execUnitManifest},
+		{reflect.TypeOf(LSU{}), lsuManifest},
+		{reflect.TypeOf(lsuEntry{}), lsuEntryManifest},
+	}
+	for _, c := range cases {
+		if err := snapshot.Coverage(c.typ, c.manifest); err != nil {
+			t.Errorf("%s: %v", c.typ.Name(), err)
+		}
+	}
+}
+
+// memMixProg exercises every in-flight-writer source the audit models:
+// global and shared loads (LSU + writeback heap), constant loads, FMA
+// chains (collector units + queued writebacks), and a barrier.
+func memMixProg(trips int) *program.Program {
+	b := program.NewBuilder()
+	b.Loop(int64(trips), func(lb *program.Builder) {
+		lb.LDG(8, 1, isa.MemTrait{Pattern: isa.PatCoalesced, Footprint: 1 << 18, StrideBytes: 4})
+		lb.FMA(4, 8, 2, 3)
+		lb.LDS(9, 4, isa.MemTrait{Footprint: 1 << 12, StrideBytes: 4})
+		lb.FMA(5, 9, 2, 3)
+		lb.LDC(10)
+		lb.IMAD(6, 10, 4, 5)
+		lb.Bar()
+	})
+	return b.MustBuild()
+}
+
+// snapSMState frames the hierarchy and SM state together, as the gpu
+// layer does, so the restored SM sees identical memory timing.
+func snapSMState(t *testing.T, sm *SM, hier *mem.Hierarchy) []byte {
+	t.Helper()
+	e := snapshot.NewEncoder()
+	hier.EncodeState(e)
+	sm.EncodeState(e)
+	var buf bytes.Buffer
+	if err := e.Finish(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func restoreSMState(t *testing.T, sm *SM, hier *mem.Hierarchy, frame []byte, progFor ProgramResolver) error {
+	t.Helper()
+	d, err := snapshot.NewDecoder(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hier.RestoreState(d); err != nil {
+		return err
+	}
+	if err := sm.RestoreState(d, progFor); err != nil {
+		return err
+	}
+	return d.Finish()
+}
+
+func smRoundTripAt(t *testing.T, mut func(*config.GPU), snapCycle int64) {
+	t.Helper()
+	cfg := config.VoltaV100()
+	cfg.NumSMs = 1
+	if mut != nil {
+		mut(&cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prog := memMixProg(6)
+	progs := make([]*program.Program, 8)
+	for i := range progs {
+		progs[i] = prog
+	}
+	progFor := func(gid int64) (*program.Program, error) { return prog, nil }
+
+	runA := stats.NewRun(1, cfg.SubCoresPerSM)
+	hierA := mem.NewHierarchy(cfg)
+	a := NewSM(0, &cfg, hierA, runA)
+	if err := a.Allocate(specOf(progs, 16, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Allocate(&BlockSpec{KernelBlockID: 1, Programs: progs[:4], RegsPerThread: 16, SharedMemBytes: 2048, FirstWarpGID: 8}); err != nil {
+		t.Fatal(err)
+	}
+
+	for c := int64(0); c < snapCycle; c++ {
+		a.Tick(c)
+		if c%97 == 0 {
+			if vs := a.Audit(); len(vs) != 0 {
+				t.Fatalf("cycle %d: audit violations on a healthy SM: %v", c, vs)
+			}
+		}
+	}
+	if a.Drained() {
+		t.Fatalf("SM drained before cycle %d; snapshot point is not mid-kernel", snapCycle)
+	}
+	frame := snapSMState(t, a, hierA)
+
+	runB := stats.NewRun(1, cfg.SubCoresPerSM)
+	hierB := mem.NewHierarchy(cfg)
+	b := NewSM(0, &cfg, hierB, runB)
+	if err := restoreSMState(t, b, hierB, frame, progFor); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if vs := b.Audit(); len(vs) != 0 {
+		t.Fatalf("audit violations immediately after restore: %v", vs)
+	}
+
+	// The restored SM must continue bit-identically: the re-serialized
+	// machine state must match at every probe point until drain.
+	for c := snapCycle; c < snapCycle+6000; c++ {
+		a.Tick(c)
+		b.Tick(c)
+		if c%251 == 0 || a.Drained() {
+			fa := snapSMState(t, a, hierA)
+			fb := snapSMState(t, b, hierB)
+			if !bytes.Equal(fa, fb) {
+				t.Fatalf("cycle %d: machine state diverged after restore", c)
+			}
+		}
+		if a.Drained() != b.Drained() {
+			t.Fatalf("cycle %d: drain status diverged", c)
+		}
+		if a.Drained() {
+			return
+		}
+	}
+	t.Fatal("SM did not drain; raise the cycle bound")
+}
+
+func TestSMRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*config.GPU)
+	}{
+		{"gto", nil},
+		{"rba-stealing", func(c *config.GPU) {
+			c.WarpScheduler = config.SchedRBA
+			c.BankStealing = true
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, at := range []int64{3, 40, 230} {
+				smRoundTripAt(t, tc.mut, at)
+			}
+		})
+	}
+}
+
+func TestSMRestoreShapeMismatch(t *testing.T) {
+	cfg := config.VoltaV100()
+	cfg.NumSMs = 1
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hierA := mem.NewHierarchy(cfg)
+	a := NewSM(0, &cfg, hierA, stats.NewRun(1, cfg.SubCoresPerSM))
+	frame := snapSMState(t, a, hierA)
+
+	other := cfg
+	other.MaxWarpsPerSM = 32
+	if err := other.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hierB := mem.NewHierarchy(other)
+	b := NewSM(0, &other, hierB, stats.NewRun(1, other.SubCoresPerSM))
+	err := restoreSMState(t, b, hierB, frame, func(int64) (*program.Program, error) {
+		return fmaProg(1), nil
+	})
+	if err == nil {
+		t.Fatal("restore into a 32-warp-slot SM from a 64-slot snapshot succeeded")
+	}
+}
+
+func TestSMRestoreWorkloadMismatch(t *testing.T) {
+	cfg := config.VoltaV100()
+	cfg.NumSMs = 1
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prog := memMixProg(6)
+	progs := []*program.Program{prog, prog}
+	hierA := mem.NewHierarchy(cfg)
+	a := NewSM(0, &cfg, hierA, stats.NewRun(1, cfg.SubCoresPerSM))
+	if err := a.Allocate(specOf(progs, 16, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for c := int64(0); c < 50; c++ {
+		a.Tick(c)
+	}
+	frame := snapSMState(t, a, hierA)
+
+	// Resuming against a different workload must fail loudly, not
+	// silently misposition cursors.
+	hierB := mem.NewHierarchy(cfg)
+	b := NewSM(0, &cfg, hierB, stats.NewRun(1, cfg.SubCoresPerSM))
+	err := restoreSMState(t, b, hierB, frame, func(int64) (*program.Program, error) {
+		return fmaProg(2), nil
+	})
+	if err == nil {
+		t.Fatal("restore against the wrong workload succeeded")
+	}
+}
+
+func TestAuditCatchesSeededScoreboardCorruption(t *testing.T) {
+	cfg := config.VoltaV100()
+	cfg.NumSMs = 1
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prog := memMixProg(50)
+	hier := mem.NewHierarchy(cfg)
+	sm := NewSM(0, &cfg, hier, stats.NewRun(1, cfg.SubCoresPerSM))
+	if err := sm.Allocate(specOf([]*program.Program{prog, prog}, 16, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for c := int64(0); c < 100; c++ {
+		sm.Tick(c)
+	}
+	if vs := sm.Audit(); len(vs) != 0 {
+		t.Fatalf("healthy SM reported %v", vs)
+	}
+	if !sm.CorruptScoreboardForTest() {
+		t.Fatal("no active warp to corrupt")
+	}
+	vs := sm.Audit()
+	if len(vs) == 0 {
+		t.Fatal("seeded scoreboard inconsistency not detected")
+	}
+	for _, v := range vs {
+		if v.Rule != "scoreboard" {
+			t.Fatalf("violation rule = %q, want scoreboard (%v)", v.Rule, v)
+		}
+	}
+	if s := vs[0].String(); s == "" || s == vs[0].Detail {
+		t.Fatalf("violation String() lost context: %q", s)
+	}
+	_ = fmt.Sprintf("%v", vs)
+}

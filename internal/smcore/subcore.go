@@ -13,6 +13,8 @@ import (
 // Volta sub-core has one 16-lane FP32 pipe; the hypothetical
 // fully-connected SM pools four of them, so lane budgets above the native
 // pipe width become additional dispatch ports rather than one wider pipe.
+//
+//snapshot:state
 type execUnit struct {
 	ii    int64
 	ports []int64 // per-pipe next-free cycle
@@ -58,6 +60,8 @@ func (e *execUnit) accept(now int64) {
 // SubCore is one partition of an SM: a warp scheduler (or several, for the
 // fully-connected model), a slice of the register file with its operand
 // collector, and private execution units.
+//
+//snapshot:state
 type SubCore struct {
 	id    int
 	cfg   *config.GPU

@@ -31,6 +31,8 @@ const (
 const sbWords = 4 // scoreboard bitset covers 256 architectural registers
 
 // Warp is a resident warp's hardware state on an SM.
+//
+//snapshot:state
 type Warp struct {
 	// State is the lifecycle state.
 	State WarpState
