@@ -1,24 +1,28 @@
 // Command simlint runs the repository's custom static-analysis suite
 // (internal/analysis) over the module and exits non-zero on findings.
 // It is a tier-1 CI gate: the determinism, hot-path, trace-guard,
-// fault-flow, and monitor-poll invariants it enforces are the source-
-// level half of the guarantees determinism_test.go and the harness
-// chaos tests check dynamically. See docs/STATIC_ANALYSIS.md.
+// fault-flow, monitor-poll, CPI-ledger, and fast-forward invariants it
+// enforces are the source-level half of the guarantees
+// determinism_test.go and the harness chaos tests check dynamically.
+// See docs/STATIC_ANALYSIS.md.
 //
 // Usage:
 //
 //	go run ./cmd/simlint ./...                 # whole module
 //	go run ./cmd/simlint ./internal/smcore     # one package
 //	go run ./cmd/simlint -analyzers hotpath ./...
+//	go run ./cmd/simlint -json ./...           # machine-readable findings
+//	go run ./cmd/simlint -strict-allow ./...   # also flag stale //simlint:allow
 //	go run ./cmd/simlint internal/analysis/testdata/src/hotpath
 //
 // A directory argument under a testdata tree (which the go tool
-// ignores) is loaded as a standalone fixture package — the same path
-// the golden tests use — so each analyzer's fixtures can be linted
+// ignores) is loaded as a standalone fixture tree — the same path the
+// golden tests use — so each analyzer's fixtures can be linted
 // directly and demonstrably fail.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,9 +32,23 @@ import (
 	"repro/internal/analysis"
 )
 
+// jsonDiag is one finding in -json output, one object per line
+// (JSON Lines), stable fields for CI problem matchers and tooling.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Chain    string `json:"chain,omitempty"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	only := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings as JSON Lines on stdout")
+	strictAllow := flag.Bool("strict-allow", false,
+		"report stale //simlint:allow directives (suppressing nothing) as findings")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: simlint [flags] [packages or fixture dirs]\n")
 		flag.PrintDefaults()
@@ -39,7 +57,7 @@ func main() {
 
 	if *list {
 		for _, a := range analysis.All {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -61,12 +79,12 @@ func main() {
 	var pkgs []*analysis.Package
 	for _, a := range args {
 		if isFixtureDir(a) {
-			pkg, err := analysis.LoadFixture(a)
+			fixture, err := analysis.LoadFixture(a)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}
-			pkgs = append(pkgs, pkg)
+			pkgs = append(pkgs, fixture...)
 			continue
 		}
 		patterns = append(patterns, a)
@@ -80,13 +98,35 @@ func main() {
 		pkgs = append(pkgs, loaded...)
 	}
 
-	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	run := analysis.RunAnalyzers
+	if *strictAllow {
+		run = analysis.RunAnalyzersStrict
+	}
+	diags, err := run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			jd := jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Chain:    d.Chain,
+			}
+			if err := enc.Encode(jd); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "simlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

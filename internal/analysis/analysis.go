@@ -39,7 +39,8 @@ import (
 	"strings"
 )
 
-// Analyzer is one named pass over a type-checked package.
+// Analyzer is one named pass, either per-package (Run) or whole-program
+// (RunProgram, which sees every loaded package plus the call graph).
 type Analyzer struct {
 	// Name is the analyzer's identifier, used in reports and in
 	// //simlint:allow directives.
@@ -48,10 +49,15 @@ type Analyzer struct {
 	Doc string
 	// Run reports findings on the pass's package via Pass.Reportf.
 	Run func(*Pass) error
+	// RunProgram, when set, runs once over the whole loaded program
+	// instead of once per package; Run is ignored. Interprocedural
+	// analyzers live here: ProgramPass.Prog.CallGraph() is the shared,
+	// lazily built call graph.
+	RunProgram func(*ProgramPass) error
 }
 
 // All is the registry of simlint's analyzers, in report order.
-var All = []*Analyzer{Determinism, Hotpath, Traceguard, Faultflow, Monitorpoll, Snapshotguard}
+var All = []*Analyzer{Determinism, Hotpath, Traceguard, Faultflow, Monitorpoll, Snapshotguard, Cpiguard, Nexteventguard}
 
 // ByName resolves a subset of All from comma-separated names.
 func ByName(names string) ([]*Analyzer, error) {
@@ -84,6 +90,11 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Chain is the call chain an interprocedural finding was discovered
+	// through ("issueTick → tryIssue → helper"); empty for direct
+	// findings. The chain is already part of Message for human output —
+	// this field carries it structured for -json consumers.
+	Chain string
 }
 
 func (d Diagnostic) String() string {
@@ -137,21 +148,90 @@ func (p *Pass) WithStack(fn func(n ast.Node, stack []ast.Node) bool) {
 	}
 }
 
+// ProgramPass is one program-level analyzer's view of every loaded
+// package plus the shared call graph.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	diags    []Diagnostic
+}
+
+// Reportf records a finding at pos, which must belong to pkg's file set.
+func (pp *ProgramPass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	pp.diags = append(pp.diags, Diagnostic{
+		Pos:      pkg.Fset.Position(pos),
+		Analyzer: pp.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportChainf records an interprocedural finding with its discovery
+// chain (the chain should also appear in the formatted message; this
+// keeps it structured for -json output).
+func (pp *ProgramPass) ReportChainf(pkg *Package, pos token.Pos, chain, format string, args ...any) {
+	pp.diags = append(pp.diags, Diagnostic{
+		Pos:      pkg.Fset.Position(pos),
+		Analyzer: pp.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
+	})
+}
+
 // RunAnalyzers runs the analyzers over the packages, drops suppressed
 // findings (//simlint:allow), and returns the rest sorted by position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return runAnalyzers(pkgs, analyzers, false)
+}
+
+// RunAnalyzersStrict additionally reports, as findings of the pseudo-
+// analyzer "allow", every //simlint:allow directive that suppressed
+// nothing — a stale suppression is a waived rule nobody is breaking,
+// and deleting it restores coverage. Only meaningful when the named
+// analyzers actually run: directives for analyzers outside the
+// selection are never reported stale.
+func RunAnalyzersStrict(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return runAnalyzers(pkgs, analyzers, true)
+}
+
+func runAnalyzers(pkgs []*Package, analyzers []*Analyzer, strict bool) ([]Diagnostic, error) {
+	sup := buildSuppressions(pkgs)
+	prog := NewProgram(pkgs)
+	ran := map[string]bool{}
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		sup := buildSuppressions(pkg)
-		for _, a := range analyzers {
+	keep := func(diags []Diagnostic) {
+		for _, d := range diags {
+			if !sup.suppressed(d.Analyzer, d.Pos) {
+				out = append(out, d)
+			}
+		}
+	}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		if a.RunProgram != nil {
+			pp := &ProgramPass{Analyzer: a, Prog: prog}
+			if err := a.RunProgram(pp); err != nil {
+				return nil, fmt.Errorf("analysis: %s: %w", a.Name, err)
+			}
+			keep(pp.diags)
+			continue
+		}
+		for _, pkg := range pkgs {
 			pass := &Pass{Analyzer: a, Pkg: pkg}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 			}
-			for _, d := range pass.diags {
-				if !sup.suppressed(d.Analyzer, d.Pos) {
-					out = append(out, d)
-				}
+			keep(pass.diags)
+		}
+	}
+	if strict {
+		for _, d := range sup.directives {
+			if ran[d.name] && !d.used {
+				out = append(out, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "allow",
+					Message: fmt.Sprintf("stale //simlint:allow %s: no %s finding fires here any more; delete the suppression",
+						d.name, d.name),
+				})
 			}
 		}
 	}

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// writeSnippet materializes src as a single-file package under a temp
+// dir and loads it the fixture way. Snippets must be import-free so the
+// loader never shells out to the go command.
+func writeSnippet(t *testing.T, name, src string) []*Package {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadFixture(dir)
+	if err != nil {
+		t.Fatalf("LoadFixture: %v", err)
+	}
+	return pkgs
+}
+
+func loadSnippetGraph(t *testing.T, name, src string) *CallGraph {
+	t.Helper()
+	return NewProgram(writeSnippet(t, name, src)).CallGraph()
+}
+
+func nodeByName(t *testing.T, g *CallGraph, name string) *CGNode {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("no call-graph node named %s", name)
+	return nil
+}
+
+// calleeNames returns the node's outgoing edge targets, deduplicated
+// and sorted.
+func calleeNames(n *CGNode) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range n.Out {
+		if !seen[e.To.Name] {
+			seen[e.To.Name] = true
+			out = append(out, e.To.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func wantCallees(t *testing.T, n *CGNode, want ...string) {
+	t.Helper()
+	got := calleeNames(n)
+	sort.Strings(want)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("%s callees = %v, want %v", n.Name, got, want)
+	}
+}
+
+// TestCallGraphInterfaceDispatch: an interface method call resolves to
+// every concrete method with the same name and (receiver-less,
+// name-insensitive) signature, and to nothing else; an interface
+// method value marks every implementation address-taken.
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	g := loadSnippetGraph(t, "cg", `package cg
+
+type actor interface {
+	act(n int) int
+}
+
+type a1 struct{}
+
+func (a1) act(n int) int { return n }
+
+type a2 struct{}
+
+func (*a2) act(m int) int { return m + 1 }
+
+type a3 struct{}
+
+func (a3) act(n, m int) int { return n + m }
+
+func drive(x actor) int { return x.act(1) }
+
+func handler(x actor) func(int) int { return x.act }
+
+func invoke(f func(int) int) int { return f(3) }
+`)
+	// a2.act declares its parameter m, the call site's interface says n:
+	// resolution must not depend on parameter names. a3.act differs in
+	// arity and must be excluded.
+	wantCallees(t, nodeByName(t, g, "cg.drive"), "cg.a1.act", "cg.a2.act")
+	// handler takes x.act as a value, so both implementations escape and
+	// the dynamic call in invoke reaches them.
+	wantCallees(t, nodeByName(t, g, "cg.invoke"), "cg.a1.act", "cg.a2.act")
+}
+
+// TestCallGraphMethodValue: a concrete method value and a bare function
+// reference stored as values are matched to call sites through function-
+// typed values by signature.
+func TestCallGraphMethodValue(t *testing.T) {
+	g := loadSnippetGraph(t, "cg", `package cg
+
+type a2 struct{}
+
+func (*a2) act(n int) int { return n + 1 }
+
+func free(n int) int { return n }
+
+func pick(which bool) func(int) int {
+	var g a2
+	if which {
+		return g.act
+	}
+	return free
+}
+
+func use(f func(int) int) int { return f(2) }
+`)
+	wantCallees(t, nodeByName(t, g, "cg.use"), "cg.a2.act", "cg.free")
+	// Taking the values is not calling them.
+	wantCallees(t, nodeByName(t, g, "cg.pick"))
+}
+
+// TestCallGraphRecursion: self- and mutual recursion build finite
+// graphs, Reach terminates on the cycles, and Chain renders the
+// first-discovery path.
+func TestCallGraphRecursion(t *testing.T) {
+	g := loadSnippetGraph(t, "cg", `package cg
+
+func fib(n int) int {
+	if n < 2 {
+		return n
+	}
+	return fib(n-1) + fib(n-2)
+}
+
+func ping(n int) {
+	if n > 0 {
+		pong(n - 1)
+	}
+}
+
+func pong(n int) { ping(n) }
+`)
+	fib := nodeByName(t, g, "cg.fib")
+	if len(fib.Out) != 2 || fib.Out[0].To != fib || fib.Out[1].To != fib {
+		t.Errorf("fib should carry two self-edges, got %v", calleeNames(fib))
+	}
+	reach := g.Reach([]*CGNode{fib}, ReachOpts{})
+	if len(reach) != 1 || reach[fib] == nil {
+		t.Errorf("Reach(fib) = %d nodes, want exactly fib itself", len(reach))
+	}
+
+	ping := nodeByName(t, g, "cg.ping")
+	pong := nodeByName(t, g, "cg.pong")
+	reach = g.Reach([]*CGNode{ping}, ReachOpts{})
+	if reach[ping] == nil || reach[pong] == nil || len(reach) != 2 {
+		t.Errorf("Reach(ping) should hold the ping/pong cycle, got %d nodes", len(reach))
+	}
+	if got := Chain(reach, pong); got != "cg.ping → cg.pong" {
+		t.Errorf("Chain(pong) = %q", got)
+	}
+	if step := reach[pong]; step == nil || step.Depth != 1 || step.Prev != ping {
+		t.Errorf("pong's reach step = %+v, want depth 1 from ping", reach[pong])
+	}
+}
+
+// TestCallGraphDepthBound: MaxDepth stops expansion, matching the
+// hotpath analyzer's bounded traversal.
+func TestCallGraphDepthBound(t *testing.T) {
+	g := loadSnippetGraph(t, "cg", `package cg
+
+func a() { b() }
+func b() { c() }
+func c() {}
+`)
+	a := nodeByName(t, g, "cg.a")
+	reach := g.Reach([]*CGNode{a}, ReachOpts{MaxDepth: 1})
+	if reach[nodeByName(t, g, "cg.b")] == nil {
+		t.Error("b at depth 1 should be reached with MaxDepth 1")
+	}
+	if reach[nodeByName(t, g, "cg.c")] != nil {
+		t.Error("c at depth 2 should be beyond MaxDepth 1")
+	}
+}

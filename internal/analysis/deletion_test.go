@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests demonstrate the guards' sensitivity the way a regression
+// would arrive: a minimal, fully wired package is clean, and deleting
+// exactly one load-bearing line — a term of the CPI sum, a NextEvent
+// consultation — makes the corresponding analyzer fire.
+
+func snippetDiags(t *testing.T, name, src string, az *Analyzer) []Diagnostic {
+	t.Helper()
+	diags, err := RunAnalyzers(writeSnippet(t, name, src), []*Analyzer{az})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	return diags
+}
+
+func wantClean(t *testing.T, diags []Diagnostic) {
+	t.Helper()
+	for _, d := range diags {
+		t.Errorf("intact variant should be clean, got: %s", d)
+	}
+}
+
+func wantFinding(t *testing.T, diags []Diagnostic, substr string) {
+	t.Helper()
+	for _, d := range diags {
+		if strings.Contains(d.Message, substr) {
+			return
+		}
+	}
+	t.Errorf("no diagnostic contains %q; got %d diagnostics: %v", substr, len(diags), diags)
+}
+
+const cpiDemoSrc = `package cpidemo
+
+type CPIComponent int
+
+const (
+	CPIBase CPIComponent = iota
+	CPIMem
+	NumCPIComponents
+)
+
+type StallReason int
+
+const (
+	StallNone StallReason = iota
+	StallMem
+	NumStallReasons
+)
+
+type SubCore struct {
+	Cycles      int64
+	StallCycles [NumStallReasons]int64
+}
+
+var cpiLedger = map[string]string{
+	"Cycles":      "cycle: the CPIBase slice",
+	"StallCycles": "cycle: per-reason buckets",
+	"StallNone":   "event: marks an issued cycle at attribution time",
+}
+
+func (s *SubCore) CPI(c *[NumCPIComponents]float64) {
+	c[CPIBase] = float64(s.Cycles)
+	c[CPIMem] = float64(s.StallCycles[StallMem])
+}
+`
+
+func TestCpiguardCatchesDeletedSumTerm(t *testing.T) {
+	wantClean(t, snippetDiags(t, "cpidemo", cpiDemoSrc, Cpiguard))
+
+	// Delete the CPIMem term of the sum: the component goes unassigned,
+	// the stall reason unconsulted, and the counter unread — all three
+	// statically visible consequences of the one-line regression.
+	term := "\tc[CPIMem] = float64(s.StallCycles[StallMem])\n"
+	if !strings.Contains(cpiDemoSrc, term) {
+		t.Fatal("demo source drifted: sum term not found")
+	}
+	diags := snippetDiags(t, "cpidemo", strings.Replace(cpiDemoSrc, term, "", 1), Cpiguard)
+	wantFinding(t, diags, "CPI component CPIMem is never assigned")
+	wantFinding(t, diags, "stall reason StallMem is neither consulted")
+	wantFinding(t, diags, "SubCore.StallCycles is classified cycle in cpiLedger but never read")
+}
+
+const neDemoSrc = `package nedemo
+
+//snapshot:state
+type engine struct {
+	fill int64
+}
+
+func (e *engine) Tick() {
+	e.fill++
+	if e.fill > 8 {
+		e.fill = 0
+	}
+}
+
+func (e *engine) NextEvent(now int64) int64 {
+	if e.fill > 0 {
+		return now + 1
+	}
+	return now + 8
+}
+`
+
+func TestNexteventguardCatchesDeletedConsultation(t *testing.T) {
+	wantClean(t, snippetDiags(t, "nedemo", neDemoSrc, Nexteventguard))
+
+	// Replace the quiescence consultation with a fill-blind condition:
+	// the field still evolves on the Tick path but NextEvent can no
+	// longer see it, so fast-forward would skip cycles it must not.
+	consult := "if e.fill > 0 {"
+	if !strings.Contains(neDemoSrc, consult) {
+		t.Fatal("demo source drifted: consultation not found")
+	}
+	diags := snippetDiags(t, "nedemo", strings.Replace(neDemoSrc, consult, "if now%2 == 0 {", 1), Nexteventguard)
+	wantFinding(t, diags, "field engine.fill is read and mutated on the Tick path but never consulted by any NextEvent")
+}

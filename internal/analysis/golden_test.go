@@ -31,7 +31,16 @@ type wantExpect struct {
 }
 
 // collectWants scans the fixture's files for `// want` expectations.
-func collectWants(t *testing.T, pkg *Package) []*wantExpect {
+func collectWants(t *testing.T, pkgs []*Package) []*wantExpect {
+	t.Helper()
+	var wants []*wantExpect
+	for _, pkg := range pkgs {
+		wants = append(wants, collectPkgWants(t, pkg)...)
+	}
+	return wants
+}
+
+func collectPkgWants(t *testing.T, pkg *Package) []*wantExpect {
 	t.Helper()
 	var wants []*wantExpect
 	for _, f := range pkg.Files {
@@ -76,21 +85,25 @@ func TestGolden(t *testing.T) {
 		{"faultflow", Faultflow},
 		{"monitorpoll", Monitorpoll},
 		{"snapshotguard", Snapshotguard},
+		{"cpiguard", Cpiguard},
+		{"nexteventguard", Nexteventguard},
+		{"determinism_ip", Determinism},
+		{"hotpath_ip", Hotpath},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
-			pkg, err := LoadFixture(filepath.Join("testdata", "src", tc.dir))
+			pkgs, err := LoadFixture(filepath.Join("testdata", "src", tc.dir))
 			if err != nil {
 				t.Fatalf("LoadFixture: %v", err)
 			}
-			diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{tc.analyzer})
+			diags, err := RunAnalyzers(pkgs, []*Analyzer{tc.analyzer})
 			if err != nil {
 				t.Fatalf("RunAnalyzers: %v", err)
 			}
 			if len(diags) == 0 {
 				t.Fatalf("analyzer %s produced no findings on its fixture", tc.analyzer.Name)
 			}
-			wants := collectWants(t, pkg)
+			wants := collectWants(t, pkgs)
 			for _, d := range diags {
 				matched := false
 				for _, w := range wants {

@@ -20,12 +20,30 @@ import (
 // and reporting-style names (New*, Trace*, Reset*, Set*, With*, Name*,
 // String*) are exempt — they run once, not per cycle. Branches that end
 // in panic are cold invariant checks and are skipped.
+//
+// Since v2 the pass is interprocedural: every function transitively
+// reachable from a hot root through the call graph — including
+// interface-dispatched methods (a scheduler's Pick) and function
+// literals called through stored function values — is held to the same
+// rules, with the discovery call chain printed in the diagnostic.
+// Traversal prunes at cold-named callees, at functions whose doc
+// comment carries //simlint:cold (setup or per-epoch work a hot loop
+// invokes off its steady-state path), and at call sites inside
+// panic-terminated branches, and is bounded at hotChainDepth calls from
+// the root.
 var Hotpath = &Analyzer{
 	Name: "hotpath",
 	Doc: "flag defer, fmt calls, make/new/&composite allocations, closure " +
-		"literals, and implicit interface boxing inside per-cycle functions",
-	Run: runHotpath,
+		"literals, and implicit interface boxing inside per-cycle functions " +
+		"and everything transitively reachable from them",
+	RunProgram: runHotpath,
 }
+
+// hotChainDepth bounds the interprocedural traversal: findings are
+// reported at most this many calls away from a hot root. Deep chains
+// past the bound are a documented soundness limit — in practice the
+// cycle loop's helpers sit one or two calls down.
+const hotChainDepth = 4
 
 var hotWords = map[string]bool{
 	"tick": true, "cycle": true, "issue": true, "collect": true, "writeback": true,
@@ -54,16 +72,22 @@ func camelWords(name string) []string {
 	return words
 }
 
+// coldNamed reports whether the function name starts with an exempt
+// constructor/reporting word.
+func coldNamed(name string) bool {
+	words := camelWords(name)
+	return len(words) > 0 && coldPrefixWords[strings.ToLower(words[0])]
+}
+
 // isHotFunc decides whether fd is per-cycle by annotation or name.
 func isHotFunc(fd *ast.FuncDecl) bool {
 	if hasDirective(fd.Doc, "hotpath") {
 		return true
 	}
-	words := camelWords(fd.Name.Name)
-	if len(words) == 0 || coldPrefixWords[strings.ToLower(words[0])] {
+	if coldNamed(fd.Name.Name) {
 		return false
 	}
-	for _, w := range words {
+	for _, w := range camelWords(fd.Name.Name) {
 		if hotWords[strings.ToLower(w)] {
 			return true
 		}
@@ -71,72 +95,99 @@ func isHotFunc(fd *ast.FuncDecl) bool {
 	return false
 }
 
-func runHotpath(p *Pass) error {
-	for _, f := range p.Files() {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !isHotFunc(fd) {
-				continue
-			}
-			checkHotBody(p, fd)
+func runHotpath(pp *ProgramPass) error {
+	g := pp.Prog.CallGraph()
+	var roots []*CGNode
+	for _, n := range g.Nodes {
+		if n.Decl != nil && isHotFunc(n.Decl) {
+			roots = append(roots, n)
 		}
+	}
+	reach := g.Reach(roots, ReachOpts{
+		MaxDepth:      hotChainDepth,
+		SkipColdEdges: true,
+		Skip: func(t *CGNode) bool {
+			if t.Decl == nil {
+				return false // literals have no exempting name
+			}
+			return coldNamed(t.Decl.Name.Name) || hasDirective(t.Decl.Doc, "cold")
+		},
+	})
+	for _, n := range g.Nodes {
+		step := reach[n]
+		if step == nil {
+			continue
+		}
+		if step.Prev == nil {
+			// A hot root: report in the v1 per-function form.
+			checkHotBody(pp, n, "hot function "+n.Decl.Name.Name, "")
+			continue
+		}
+		chain := Chain(reach, n)
+		checkHotBody(pp, n, n.Name+" (reachable from the hot path: "+chain+")", chain)
 	}
 	return nil
 }
 
-func checkHotBody(p *Pass, fd *ast.FuncDecl) {
-	info := p.Info()
-	name := fd.Name.Name
+// checkHotBody reports allocation and formatting sites in one node's
+// body. where names the function for the message ("hot function
+// issueTick", or a reached function with its chain); chain, when
+// non-empty, is carried structured on the diagnostics.
+func checkHotBody(pp *ProgramPass, n *CGNode, where, chain string) {
+	info := n.Pkg.Info
+	report := func(pos token.Pos, format string, args ...any) {
+		pp.ReportChainf(n.Pkg, pos, chain, format, args...)
+	}
 
 	// Branches that terminate in panic are cold invariant checks.
-	cold := map[*ast.BlockStmt]bool{}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if ifs, ok := n.(*ast.IfStmt); ok && endsInPanic(info, ifs.Body) {
-			cold[ifs.Body] = true
-		}
-		return true
-	})
+	cold := coldBlocks(info, n.Body())
 
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if b, ok := n.(*ast.BlockStmt); ok && cold[b] {
+	ast.Inspect(n.Body(), func(x ast.Node) bool {
+		if b, ok := x.(*ast.BlockStmt); ok && cold[b] {
 			return false
 		}
-		switch n := n.(type) {
+		switch x := x.(type) {
 		case *ast.DeferStmt:
-			p.Reportf(n.Pos(), "defer in hot function %s: deferred calls cost a frame record per invocation; unwind inline", name)
+			report(x.Pos(), "defer in %s: deferred calls cost a frame record per invocation; unwind inline", where)
 		case *ast.FuncLit:
-			p.Reportf(n.Pos(), "closure literal in hot function %s allocates per call when it escapes; hoist it to a field or method built once", name)
+			report(x.Pos(), "closure literal in %s allocates per call when it escapes; hoist it to a field or method built once", where)
 			return false // the literal's body is reported once, not re-scanned
 		case *ast.UnaryExpr:
-			if n.Op == token.AND {
-				if _, ok := n.X.(*ast.CompositeLit); ok {
-					p.Reportf(n.Pos(), "&composite literal in hot function %s heap-allocates per call; reuse a preallocated value", name)
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					report(x.Pos(), "&composite literal in %s heap-allocates per call; reuse a preallocated value", where)
 				}
 			}
 		case *ast.CallExpr:
-			checkHotCall(p, info, name, n)
+			// A panic call is the cold unwind path: it runs at most once per
+			// process, so its argument (typically a formatted message) is
+			// exempt, subtree included.
+			if isBuiltin(info, x, "panic") {
+				return false
+			}
+			checkHotCall(report, info, where, x)
 		}
 		return true
 	})
 }
 
-func checkHotCall(p *Pass, info *types.Info, name string, call *ast.CallExpr) {
+func checkHotCall(report func(token.Pos, string, ...any), info *types.Info, where string, call *ast.CallExpr) {
 	switch {
 	case isBuiltin(info, call, "make"):
-		p.Reportf(call.Pos(), "make in hot function %s allocates per call; pre-size the buffer at construction and reuse it", name)
+		report(call.Pos(), "make in %s allocates per call; pre-size the buffer at construction and reuse it", where)
 		return
 	case isBuiltin(info, call, "new"):
-		p.Reportf(call.Pos(), "new in hot function %s allocates per call; reuse a preallocated value", name)
+		report(call.Pos(), "new in %s allocates per call; reuse a preallocated value", where)
 		return
 	}
 	if fn := funcFor(info, call); fn != nil && fromPkg(fn, "fmt") {
-		p.Reportf(call.Pos(), "fmt.%s in hot function %s formats and allocates per call; precompute the string or move it off the per-cycle path", fn.Name(), name)
+		report(call.Pos(), "fmt.%s in %s formats and allocates per call; precompute the string or move it off the per-cycle path", fn.Name(), where)
 		return
 	}
 	// Interface conversion: T(x) where T is an interface type.
 	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
 		if types.IsInterface(tv.Type) && boxes(info.TypeOf(call.Args[0])) {
-			p.Reportf(call.Pos(), "conversion to interface in hot function %s boxes the value (one allocation per call)", name)
+			report(call.Pos(), "conversion to interface in %s boxes the value (one allocation per call)", where)
 		}
 		return
 	}
@@ -161,7 +212,7 @@ func checkHotCall(p *Pass, info *types.Info, name string, call *ast.CallExpr) {
 			continue
 		}
 		if boxes(info.TypeOf(arg)) {
-			p.Reportf(arg.Pos(), "argument boxed into %s in hot function %s (one allocation per call); take a concrete parameter or pass a pointer", types.TypeString(paramT, nil), name)
+			report(arg.Pos(), "argument boxed into %s in %s (one allocation per call); take a concrete parameter or pass a pointer", types.TypeString(paramT, nil), where)
 		}
 	}
 }

@@ -27,33 +27,51 @@ func hasDirective(doc *ast.CommentGroup, name string) bool {
 	return false
 }
 
-// suppressions maps file -> line -> the analyzer names allowed there.
-type suppressions map[string]map[int]map[string]bool
+// allowDirective is one //simlint:allow occurrence for one analyzer
+// name. A directive covering several lines (or a whole function) is one
+// record shared by every covered line, so "used" means "suppressed at
+// least one finding anywhere in its coverage" — the unit -strict-allow
+// reports on.
+type allowDirective struct {
+	pos  token.Position
+	name string
+	used bool
+}
 
-func (s suppressions) add(file string, line int, names []string) {
-	byLine := s[file]
+// suppressions indexes every allow directive of the analyzed packages:
+// file -> line -> analyzer name -> the directives covering that line.
+type suppressions struct {
+	byLine     map[string]map[int]map[string][]*allowDirective
+	directives []*allowDirective
+}
+
+func (s *suppressions) add(file string, line int, d *allowDirective) {
+	byLine := s.byLine[file]
 	if byLine == nil {
-		byLine = map[int]map[string]bool{}
-		s[file] = byLine
+		byLine = map[int]map[string][]*allowDirective{}
+		s.byLine[file] = byLine
 	}
-	set := byLine[line]
-	if set == nil {
-		set = map[string]bool{}
-		byLine[line] = set
+	byName := byLine[line]
+	if byName == nil {
+		byName = map[string][]*allowDirective{}
+		byLine[line] = byName
 	}
-	for _, n := range names {
-		set[n] = true
-	}
+	byName[d.name] = append(byName[d.name], d)
 }
 
 // suppressed reports whether a finding by the analyzer at pos is
-// covered by an //simlint:allow directive.
-func (s suppressions) suppressed(analyzer string, pos token.Position) bool {
-	byLine := s[pos.Filename]
+// covered by an //simlint:allow directive, marking every covering
+// directive used.
+func (s *suppressions) suppressed(analyzer string, pos token.Position) bool {
+	byLine := s.byLine[pos.Filename]
 	if byLine == nil {
 		return false
 	}
-	return byLine[pos.Line][analyzer]
+	ds := byLine[pos.Line][analyzer]
+	for _, d := range ds {
+		d.used = true
+	}
+	return len(ds) > 0
 }
 
 func allowNames(text string) []string {
@@ -71,38 +89,53 @@ func allowNames(text string) []string {
 }
 
 // buildSuppressions indexes every //simlint:allow directive of the
-// package. A directive on (or immediately above) a line covers that
+// packages. A directive on (or immediately above) a line covers that
 // line and the next; a directive in a function's doc comment covers
 // the whole declaration.
-func buildSuppressions(p *Package) suppressions {
-	s := suppressions{}
-	for _, f := range p.Files {
-		filename := p.Fset.Position(f.Pos()).Filename
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				names := allowNames(c.Text)
-				if names == nil {
+func buildSuppressions(pkgs []*Package) *suppressions {
+	s := &suppressions{byLine: map[string]map[int]map[string][]*allowDirective{}}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			filename := p.Fset.Position(f.Pos()).Filename
+			// Directives inside function doc comments cover the whole
+			// declaration; remember them so the per-line pass below skips
+			// them (a doc-comment directive already has its coverage).
+			docDirective := map[*ast.Comment]bool{}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
 					continue
 				}
-				line := p.Fset.Position(c.Pos()).Line
-				s.add(filename, line, names)
-				s.add(filename, line+1, names)
-			}
-		}
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Doc == nil {
-				continue
-			}
-			for _, c := range fd.Doc.List {
-				names := allowNames(c.Text)
-				if names == nil {
-					continue
+				for _, c := range fd.Doc.List {
+					names := allowNames(c.Text)
+					if names == nil {
+						continue
+					}
+					docDirective[c] = true
+					start := p.Fset.Position(fd.Pos()).Line
+					end := p.Fset.Position(fd.End()).Line
+					for _, n := range names {
+						ad := &allowDirective{pos: p.Fset.Position(c.Pos()), name: n}
+						s.directives = append(s.directives, ad)
+						for l := start; l <= end; l++ {
+							s.add(filename, l, ad)
+						}
+					}
 				}
-				start := p.Fset.Position(fd.Pos()).Line
-				end := p.Fset.Position(fd.End()).Line
-				for l := start; l <= end; l++ {
-					s.add(filename, l, names)
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names := allowNames(c.Text)
+					if names == nil || docDirective[c] {
+						continue
+					}
+					line := p.Fset.Position(c.Pos()).Line
+					for _, n := range names {
+						ad := &allowDirective{pos: p.Fset.Position(c.Pos()), name: n}
+						s.directives = append(s.directives, ad)
+						s.add(filename, line, ad)
+						s.add(filename, line+1, ad)
+					}
 				}
 			}
 		}

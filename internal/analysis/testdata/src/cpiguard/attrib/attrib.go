@@ -1,0 +1,13 @@
+// Package attrib models the issue-attribution site one package over
+// from the counter declarations (internal/smcore, in the real tree):
+// the program-wide mutation scan must reach it.
+package attrib
+
+import "fixture/cpiguard"
+
+// Charge bumps counters on another package's SubCore. Cycles is
+// ledgered; Orphan is the cross-package drift.
+func Charge(s *cpiguard.SubCore) {
+	s.Cycles++
+	s.Orphan++ // want "SubCore.Orphan is mutated here but has no cpiLedger entry"
+}

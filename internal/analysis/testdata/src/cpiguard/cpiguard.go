@@ -1,0 +1,66 @@
+// Package cpiguard is the golden-file fixture for the cpiguard
+// analyzer: every way the CPI-stack wiring can drift from the CheckCPI
+// identity — a dropped component, an unaccounted stall reason, ledger
+// drift in both directions, a malformed classification — next to
+// healthy counters and a suppressed site that must stay silent.
+package cpiguard
+
+// CPIComponent indexes the per-sub-core CPI stack.
+type CPIComponent int
+
+const (
+	CPIBase CPIComponent = iota
+	CPIMem
+	CPIGhost // want "CPI component CPIGhost is never assigned in \\(\\*SubCore\\).CPI"
+	NumCPIComponents
+)
+
+// StallReason classifies why a cycle issued nothing.
+type StallReason int
+
+const (
+	StallNone StallReason = iota
+	StallMem
+	StallLost // want "stall reason StallLost is neither consulted in \\(\\*SubCore\\).CPI"
+	NumStallReasons
+)
+
+// SubCore is the per-sub-core counter block the ledger classifies.
+type SubCore struct {
+	Cycles      int64
+	MemCycles   int64 // want "classified cycle in cpiLedger but never read in \\(\\*SubCore\\).CPI"
+	Issued      int64
+	Orphan      int64 // want "counter field SubCore.Orphan has no cpiLedger entry"
+	StallCycles [NumStallReasons]int64
+}
+
+var cpiLedger = map[string]string{
+	"Cycles":      "cycle: the CPIBase slice",
+	"MemCycles":   "cycle: the CPIMem slice",
+	"Issued":      "event: instruction count, not a cycle bucket",
+	"StallCycles": "cycle: per-reason buckets",
+	"StallNone":   "event: marks an issued cycle at attribution time",
+	"Gone":        "maybe", // want "the ledger is a classification" "names no SubCore field and no StallReason constant"
+}
+
+// CPI folds the counters into the component stack. CPIGhost is the
+// deliberately dropped term, and MemCycles the ledgered-but-unread
+// counter, that the analyzer must catch.
+func (s *SubCore) CPI(c *[NumCPIComponents]float64) {
+	cycles := float64(s.Cycles)
+	c[CPIBase] = cycles
+	c[CPIMem] = float64(s.StallCycles[StallMem])
+}
+
+// count attributes one issued instruction. Issued is event-ledgered;
+// Orphan is the drift the program-wide mutation scan must catch.
+func (s *SubCore) count() {
+	s.Issued++
+	s.Orphan++ // want "SubCore.Orphan is mutated here but has no cpiLedger entry"
+}
+
+// reset clears the scratch counter; the suppression acknowledges the
+// pending ledger migration in place, so the analyzer must stay silent.
+func (s *SubCore) reset() {
+	s.Orphan = 0 //simlint:allow cpiguard -- ledger migration in flight, entry lands with the encoder
+}

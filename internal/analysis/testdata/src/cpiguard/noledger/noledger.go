@@ -1,0 +1,12 @@
+// Package noledger declares the CPI accounting shape with no ledger at
+// all — the bootstrap finding that points at the missing map rather
+// than at every field.
+package noledger
+
+// SubCore carries counters, but nobody wrote the ledger.
+type SubCore struct { // want "this package has no cpiLedger"
+	N int64
+}
+
+// CPI is empty; the missing ledger is the only finding here.
+func (s *SubCore) CPI() {}

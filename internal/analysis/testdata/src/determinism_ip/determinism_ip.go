@@ -1,0 +1,29 @@
+// Package determinism_ip is the golden-file fixture for the
+// determinism analyzer's interprocedural mode: simulation-scope code
+// (this package) calling nondeterminism wrapped in an out-of-scope
+// helper package, which must be reported with the discovery chain.
+package determinism_ip
+
+import (
+	"fixture/determinism_ip/helper"
+	"time"
+)
+
+// sim is the scope-side state the helpers feed.
+type sim struct {
+	cycles int64
+	rows   []int64
+}
+
+// runCell drives every helper the analyzer must follow.
+func (s *sim) runCell(m map[int]int64) {
+	s.cycles += helper.Stamp()
+	s.cycles += helper.Merge(m)
+	s.cycles += helper.Jitter()
+	helper.SortRows(s.rows)
+}
+
+// stampDirect is the v1 case: the primitive sits in scope code itself.
+func (s *sim) stampDirect() int64 {
+	return time.Now().UnixNano() // want "this package feeds simulation state or exported results"
+}

@@ -1,0 +1,46 @@
+// Package helper models out-of-scope support code that scope code
+// calls into. Fixture sub-packages named "helper" are excluded from
+// the direct scan, so every finding here must arrive through the call
+// graph — and code nothing in scope reaches must stay silent.
+package helper
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp wraps the wall clock one package away from simulation scope.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "reached from deterministic simulation code \\(determinism_ip.sim.runCell → helper.Stamp\\)"
+}
+
+// Merge folds per-bank tallies in map order.
+func Merge(m map[int]int64) int64 {
+	var t int64
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		t += v
+	}
+	return t
+}
+
+// Jitter consumes the process-global stream.
+func Jitter() int64 {
+	return rand.Int63() // want "global math/rand.Int63"
+}
+
+// SortRows hands a comparator to sort.Slice as a value — a call edge
+// the graph cannot see — so literals created in reached code count as
+// reached themselves.
+func SortRows(rows []int64) {
+	sort.Slice(rows, func(i, j int) bool {
+		d := time.Since(time.Unix(0, rows[i])) // want "reached from deterministic simulation code"
+		return d > 0 && rows[i] < rows[j]
+	})
+}
+
+// Orphan is never called from scope code; the interprocedural pass
+// must stay silent on it.
+func Orphan() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,100 @@
+// Package hotpath_ip is the golden-file fixture for the hotpath
+// analyzer's interprocedural mode: allocation sites in helpers the
+// cycle loop reaches through static calls, interface dispatch, and
+// stored function values, next to every pruning rule — cold names,
+// //simlint:cold, panic branches, and the depth bound.
+package hotpath_ip
+
+// picker is the dispatch point: the call graph resolves Pick to every
+// concrete method with this name and signature.
+type picker interface {
+	Pick(n int) int
+}
+
+// greedy is the concrete scheduler behind the interface.
+type greedy struct {
+	weights []int
+}
+
+// Pick allocates on the dispatched path.
+func (g *greedy) Pick(n int) int {
+	tmp := make([]int, n) // want "make in hotpath_ip.greedy.Pick \\(reachable from the hot path: hotpath_ip.engine.issueTick → hotpath_ip.greedy.Pick\\)"
+	return len(tmp) + len(g.weights)
+}
+
+// engine drives one sub-core.
+type engine struct {
+	sched picker
+	score func(int) int
+	buf   []int
+	n     int
+}
+
+// newEngine wires the stored function value the dynamic-call resolver
+// must follow; cold-named, so never itself on the hot path.
+func newEngine() *engine {
+	return &engine{sched: &greedy{}, score: weightOf}
+}
+
+// weightOf is only ever called through the stored engine.score value.
+func weightOf(n int) int {
+	box := &counter{} // want "&composite literal in hotpath_ip.weightOf"
+	return box.add(n)
+}
+
+// counter is scratch state for weightOf.
+type counter struct{ v int }
+
+func (c *counter) add(n int) int {
+	c.v += n
+	return c.v
+}
+
+// issueTick is the hot root: its own body is held to the v1 rules and
+// everything it reaches to the v2 chain rules.
+func (e *engine) issueTick() {
+	defer e.flush() // want "defer in hot function issueTick"
+	if e.n < 0 {
+		panic("negative occupancy") // the cold unwind path: exempt, subtree included
+	}
+	e.n = e.sched.Pick(e.n)
+	e.n += e.score(e.n)
+	e.stage()
+	e.buf = e.newBuf()
+	e.refill()
+	e.hop1()
+}
+
+// flush is reached but clean.
+func (e *engine) flush() {
+	e.n = 0
+}
+
+// stage allocates one static call below the root.
+func (e *engine) stage() {
+	e.buf = append(e.buf, make([]int, 4)...) // want "make in hotpath_ip.engine.stage \\(reachable from the hot path: hotpath_ip.engine.issueTick → hotpath_ip.engine.stage\\)"
+}
+
+// newBuf is cold-named: constructor-style, pruned from the traversal.
+func (e *engine) newBuf() []int {
+	return make([]int, 8)
+}
+
+// refill runs once per epoch when the queue drains, not per cycle.
+//
+//simlint:cold
+func (e *engine) refill() {
+	e.buf = make([]int, 0, 64)
+}
+
+// hop1..hop4 are a clean chain exactly hotChainDepth calls long;
+// deepAlloc sits one call past the bound and must stay unreported — the
+// documented soundness limit of the traversal.
+func (e *engine) hop1() { e.hop2() }
+func (e *engine) hop2() { e.hop3() }
+func (e *engine) hop3() { e.hop4() }
+func (e *engine) hop4() { e.deepAlloc() }
+
+func (e *engine) deepAlloc() {
+	e.buf = make([]int, 16)
+}

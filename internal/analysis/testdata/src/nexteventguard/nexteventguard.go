@@ -1,0 +1,79 @@
+// Package nexteventguard is the golden-file fixture for the
+// nexteventguard analyzer: a fast-forward soundness hole (Tick-evolved
+// state invisible to NextEvent) next to every healthy consultation
+// pattern — direct reads, reads through a quiescence helper, read-only
+// and write-only fields — plus a suppressed scratch field and a type
+// whose Tick has no NextEvent partner.
+package nexteventguard
+
+// engine pairs Tick with NextEvent, so its quiescence contract is
+// guarded.
+//
+//snapshot:state
+type engine struct {
+	credits  int64 // want "field engine.credits is read and mutated on the Tick path but never consulted by any NextEvent"
+	fill     int64
+	inflight int64
+	drainTo  int64
+	log      int64
+	//simlint:allow nexteventguard -- per-tick scratch, rebuilt before every use; quiescence never depends on it
+	scratch int64
+	pad     scratchpad
+}
+
+// scratchpad is not snapshot state; its fields are outside the
+// contract.
+type scratchpad struct {
+	n int64
+}
+
+// Tick advances one cycle. credits evolves only through the helper —
+// the interprocedural path the per-function v1 pass could not see.
+func (e *engine) Tick(now int64) {
+	e.spend()
+	e.fill++
+	if e.fill > e.drainTo {
+		e.fill = 0
+	}
+	e.inflight++
+	e.log = now
+	e.scratch++
+	e.pad.n++
+}
+
+// spend burns credits one call below Tick.
+func (e *engine) spend() {
+	if e.credits > 0 {
+		e.credits--
+	}
+}
+
+// quiescent is the consultation helper NextEvent reaches; reading
+// inflight here is what keeps that field sound.
+func (e *engine) quiescent() bool {
+	return e.inflight == 0
+}
+
+// NextEvent consults fill directly, drainTo as the horizon, and
+// inflight through the helper. credits is the hole.
+func (e *engine) NextEvent(now int64) int64 {
+	if !e.quiescent() || e.fill > 0 {
+		return now + 1
+	}
+	return now + e.drainTo
+}
+
+// ticker has a Tick but no NextEvent: it is never fast-forwarded, so
+// its state is out of contract and must stay unflagged.
+//
+//snapshot:state
+type ticker struct {
+	n int64
+}
+
+// Tick drains the counter; no finding, ticker has no NextEvent.
+func (t *ticker) Tick() {
+	if t.n > 0 {
+		t.n--
+	}
+}

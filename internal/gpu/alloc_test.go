@@ -1,0 +1,116 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/program"
+)
+
+// The zero-alloc gate: the cycle loop must not allocate in steady
+// state. One stray allocation per tick dominates paper-scale sweep wall
+// time, and the simlint hotpath analyzer can only see allocation sites
+// within hotChainDepth calls of a hot root — this is the dynamic
+// backstop that covers the whole device loop, heartbeat audits
+// included.
+//
+// Measurement: two identical runs capped at different cycle counts.
+// Construction and launch allocate a fixed amount, so any difference
+// between the runs is allocation attributable to the extra simulated
+// cycles alone. The comparison tolerates allocGateSlack one-off
+// allocations (a GC cycle landing inside the longer run shows up as a
+// count or two of runtime-internal mallocs); a genuine per-cycle
+// allocation measures as the full 60k-cycle difference.
+
+// steadyAllocs returns the average allocation count of a full capped
+// run: construction, launch, and maxCycles simulated cycles of a
+// long dependent-FMA kernel that cannot finish under the cap.
+func steadyAllocs(tb testing.TB, cfg config.GPU, p *program.Program, maxCycles int64) float64 {
+	tb.Helper()
+	return testing.AllocsPerRun(3, func() {
+		g, err := New(cfg)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		k := &Kernel{Name: "steady", Blocks: 2, WarpsPerBlock: 8, RegsPerThread: 16,
+			WarpProgram: func(b, w int) *program.Program { return p }}
+		err = g.RunKernel(k, maxCycles)
+		var cle *CycleLimitError
+		if !errors.As(err, &cle) {
+			tb.Fatalf("run should hit the %d-cycle cap, got %v", maxCycles, err)
+		}
+	})
+}
+
+// allocGateConfigs are the scheduler variants the gate covers: the GTO
+// baseline and RBA, whose per-cycle bank-aware scoring is the likeliest
+// place for a scratch allocation to creep in.
+func allocGateConfigs() []struct {
+	name string
+	cfg  config.GPU
+} {
+	return []struct {
+		name string
+		cfg  config.GPU
+	}{
+		{"gto", tinyCfg()},
+		{"rba", tinyCfg().WithScheduler(config.SchedRBA)},
+	}
+}
+
+const (
+	allocGateShort = 20_000
+	allocGateLong  = 80_000
+	allocGateSlack = 2
+)
+
+// TestCycleLoopZeroAlloc is the tier-1 half of the gate, on by default
+// in go test ./... — 60k extra cycles (heartbeat audits included) must
+// add zero allocations.
+func TestCycleLoopZeroAlloc(t *testing.T) {
+	p := fmaProgram(1<<20, 1)
+	for _, tc := range allocGateConfigs() {
+		t.Run(tc.name, func(t *testing.T) {
+			aShort := steadyAllocs(t, tc.cfg, p, allocGateShort)
+			aLong := steadyAllocs(t, tc.cfg, p, allocGateLong)
+			if aLong > aShort+allocGateSlack {
+				t.Errorf("%s: %.1f allocs at %d cycles vs %.1f at %d — the cycle loop allocates in steady state (%.5f allocs/cycle)",
+					tc.name, aLong, int64(allocGateLong), aShort, int64(allocGateShort),
+					(aLong-aShort)/float64(allocGateLong-allocGateShort))
+			}
+		})
+	}
+}
+
+// BenchmarkCycleAllocs is the CI gate form: it asserts the same
+// zero-allocs/op steady-state property, reports allocs/cycle as a
+// metric, and then times full capped runs for the perf baselines.
+func BenchmarkCycleAllocs(b *testing.B) {
+	p := fmaProgram(1<<20, 1)
+	for _, bc := range allocGateConfigs() {
+		b.Run(bc.name, func(b *testing.B) {
+			aShort := steadyAllocs(b, bc.cfg, p, allocGateShort)
+			aLong := steadyAllocs(b, bc.cfg, p, allocGateLong)
+			if aLong > aShort+allocGateSlack {
+				b.Fatalf("%s: steady-state cycle loop allocates (%.1f allocs at %d cycles vs %.1f at %d)",
+					bc.name, aLong, int64(allocGateLong), aShort, int64(allocGateShort))
+			}
+			b.ReportMetric((aLong-aShort)/float64(allocGateLong-allocGateShort), "allocs/cycle")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g, err := New(bc.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				k := &Kernel{Name: "steady", Blocks: 2, WarpsPerBlock: 8, RegsPerThread: 16,
+					WarpProgram: func(blk, w int) *program.Program { return p }}
+				var cle *CycleLimitError
+				if err := g.RunKernel(k, allocGateLong); !errors.As(err, &cle) {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -286,6 +286,8 @@ func (g *GPU) RunConcurrent(kernels []*Kernel, maxCycles int64) error {
 // stats entry. Shared by the fresh path (RunConcurrent) and the
 // snapshot-resume path (ContinueKernels), which must not re-run
 // ResetForKernel or restart the launch bookkeeping.
+//
+//simlint:cold
 func (g *GPU) runLaunch(ls *launch) error {
 	g.curLaunch = ls
 	defer func() { g.curLaunch = nil }()
@@ -357,6 +359,10 @@ func (g *GPU) newLaunch(kernels []*Kernel, maxCycles int64) *launch {
 	return ls
 }
 
+// validateLaunch rejects a malformed kernel set before any state is
+// touched. Once per launch, not per cycle.
+//
+//simlint:cold
 func (g *GPU) validateLaunch(kernels []*Kernel) error {
 	if len(kernels) == 0 {
 		return fmt.Errorf("gpu: no kernels to run")
@@ -594,6 +600,8 @@ func (g *GPU) fastForward(ls *launch) (stop loopStop, stopped, skipped bool) {
 // and a restarted process resumes exactly where the SIGTERM/watchdog
 // kill landed. A hook failure during cancellation is swallowed — the
 // cancel is the fault the caller must see.
+//
+//simlint:cold
 func (g *GPU) heartbeat(ls *launch) (loopStop, bool) {
 	g.flushMetrics()
 	canceled := g.mon.beat(g.cycle)
@@ -708,6 +716,8 @@ func (g *GPU) FastForwardedCycles() int64 { return g.ffCycles }
 // blockSpec materializes block b of kernel k; gidOffset displaces the
 // kernel's warp-GID space under concurrent execution. Called once per
 // placed block: the launch caches the spec until placement succeeds.
+//
+//simlint:cold
 func (g *GPU) blockSpec(k *Kernel, b int, gidOffset int64) *smcore.BlockSpec {
 	progs := make([]*program.Program, k.WarpsPerBlock)
 	for w := range progs {

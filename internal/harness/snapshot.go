@@ -61,6 +61,7 @@ func newCellSnapshotter(opt Options, app, cfgName string, mon *gpu.Monitor) *cel
 		mon:      mon,
 		sm:       opt.sm,
 		logf:     opt.logf,
+		//simlint:allow determinism -- wall-interval snapshot pacing is deliberately wall-clock (kill-9 resilience); frame contents stay cycle-deterministic
 		lastWall: time.Now(),
 	}
 }
@@ -79,6 +80,7 @@ func (c *cellSnapshotter) hook(g *gpu.GPU) error {
 	if !due && c.interval > 0 && g.Cycle() >= c.nextCycle {
 		due = true
 	}
+	//simlint:allow determinism -- wall-interval snapshot pacing is deliberately wall-clock (kill-9 resilience); frame contents stay cycle-deterministic
 	if !due && c.wall > 0 && time.Since(c.lastWall) >= c.wall {
 		due = true
 	}
@@ -92,6 +94,7 @@ func (c *cellSnapshotter) hook(g *gpu.GPU) error {
 		return nil
 	}
 	c.nextCycle = g.Cycle() + c.interval
+	//simlint:allow determinism -- wall-interval snapshot pacing is deliberately wall-clock (kill-9 resilience); frame contents stay cycle-deterministic
 	c.lastWall = time.Now()
 	c.sm.snapshotWrote()
 	return nil

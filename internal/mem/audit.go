@@ -32,6 +32,7 @@ func (m *mshr) auditInto(vs []audit.Violation, where string) []audit.Violation {
 		return vs
 	}
 	min := NeverCycle
+	//simlint:allow determinism -- min over the map is order-independent
 	for _, done := range m.pending {
 		if done < min {
 			min = done

@@ -14,11 +14,15 @@ type Cache struct {
 	sets      int
 	assoc     int
 	lineShift uint
-	tags      []uint64 // sets*assoc entries; 0 = invalid (tag+1 stored)
-	use       []int64  // LRU timestamps
-	clock     int64
+	//simlint:allow nexteventguard -- cache state mutates only while an access resolves; a quiescent span (no issuable warp, no pending fill) generates no accesses
+	tags []uint64 // sets*assoc entries; 0 = invalid (tag+1 stored)
+	//simlint:allow nexteventguard -- LRU state mutates only on access (see tags)
+	use []int64 // LRU timestamps
+	//simlint:allow nexteventguard -- advances only on access (see tags)
+	clock int64
 
 	// Hits and Misses count read lookups.
+	//simlint:allow nexteventguard -- hit/miss counters advance only on access (see tags)
 	Hits, Misses int64
 }
 

@@ -14,10 +14,11 @@ import (
 //
 //snapshot:state
 type bwChannel struct {
-	nextFree    int64
-	cycPerLine  int64
-	fracNum     int64 // fractional accumulation when bytes/cycle > line
-	fracDen     int64
+	nextFree   int64
+	cycPerLine int64
+	fracNum    int64 // fractional accumulation when bytes/cycle > line
+	fracDen    int64
+	//simlint:allow nexteventguard -- accumulates only when an access is admitted; quiescent spans admit none
 	fracPending int64
 }
 
@@ -108,6 +109,7 @@ func (m *mshr) nextEvent(now int64) int64 {
 		return m.minDone
 	}
 	min := NeverCycle
+	//simlint:allow determinism -- min and per-entry pruning are order-independent
 	for line, done := range m.pending {
 		if done <= now {
 			delete(m.pending, line)
@@ -149,9 +151,10 @@ func (m *mshr) insert(line uint64, done int64) {
 //
 //snapshot:state
 type Hierarchy struct {
-	cfg  config.GPU
-	l1   []*Cache
-	l1m  []*mshr
+	cfg config.GPU
+	l1  []*Cache
+	l1m []*mshr
+	//simlint:allow nexteventguard -- sub-component pointer; the cache mutates only via accesses from non-quiescent SMs
 	l2   *Cache
 	l2m  *mshr
 	l2ch *bwChannel

@@ -139,6 +139,7 @@ func (c *Cache) restoreState(d *snapshot.Decoder) error {
 func (m *mshr) encodeState(e *snapshot.Encoder) {
 	e.Section("mshr")
 	lines := make([]uint64, 0, len(m.pending))
+	//simlint:allow determinism -- keys are collected then sorted before encoding
 	for line := range m.pending {
 		lines = append(lines, line)
 	}

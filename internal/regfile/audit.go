@@ -8,7 +8,15 @@ import "repro/internal/audit"
 // where prefixes violation locations (e.g. "sm0/sub1").
 func (c *Collector) Audit(where string) []audit.Violation {
 	var vs []audit.Violation
-	refs := make([]int, len(c.cus))
+	// Reusable scratch: the audit runs periodically from the device
+	// heartbeat and must not allocate per sweep.
+	if cap(c.auditRefs) < len(c.cus) {
+		c.auditRefs = make([]int, len(c.cus))
+	}
+	refs := c.auditRefs[:len(c.cus)]
+	for i := range refs {
+		refs[i] = 0
+	}
 	for b := 0; b < c.banks; b++ {
 		for _, r := range c.queues[b] {
 			if int(r.cu) < 0 || int(r.cu) >= len(c.cus) {

@@ -13,17 +13,18 @@ import (
 // snapshot.Version bump.
 var (
 	collectorManifest = map[string]string{
-		"cus":      "encoded",
-		"banks":    "skip: derived from config at construction",
-		"queues":   "encoded",
-		"writes":   "encoded",
-		"grantedW": "skip: consumed by the sub-core within the same cycle; snapshots are taken between cycles, restored empty",
-		"qlenHist": "encoded (feeds RBA's delayed score tap; must be bit-exact)",
-		"histPos":  "encoded",
-		"cycle":    "encoded",
-		"st":       "skip: stats pointer rewired by the owning sub-core",
-		"tr":       "skip: tracer wiring, reattached via SetTracer",
-		"trSub":    "skip: tracer wiring, reattached via SetTracer",
+		"cus":       "encoded",
+		"banks":     "skip: derived from config at construction",
+		"queues":    "encoded",
+		"writes":    "encoded",
+		"grantedW":  "skip: consumed by the sub-core within the same cycle; snapshots are taken between cycles, restored empty",
+		"qlenHist":  "encoded (feeds RBA's delayed score tap; must be bit-exact)",
+		"histPos":   "encoded",
+		"cycle":     "encoded",
+		"st":        "skip: stats pointer rewired by the owning sub-core",
+		"tr":        "skip: tracer wiring, reattached via SetTracer",
+		"trSub":     "skip: tracer wiring, reattached via SetTracer",
+		"auditRefs": "skip: Audit scratch, rewritten before every use",
 	}
 	collectorUnitManifest = map[string]string{
 		"Valid":      "encoded",

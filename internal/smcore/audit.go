@@ -67,7 +67,15 @@ func (sm *SM) Audit() []audit.Violation {
 	where := fmt.Sprintf("sm%d", sm.id)
 
 	// Reconstruct every warp's expected scoreboard from in-flight writers.
-	expected := make([][sbWords]uint64, len(sm.warps))
+	// The scratch lives on the SM: the audit runs periodically from the
+	// device heartbeat and must not allocate per sweep.
+	if cap(sm.auditSB) < len(sm.warps) {
+		sm.auditSB = make([][sbWords]uint64, len(sm.warps))
+	}
+	expected := sm.auditSB[:len(sm.warps)]
+	for i := range expected {
+		expected[i] = [sbWords]uint64{}
+	}
 	mark := func(warpIdx int32, r isa.Reg, src string) {
 		if int(warpIdx) < 0 || int(warpIdx) >= len(sm.warps) {
 			vs = append(vs, audit.Violationf("scoreboard", where,

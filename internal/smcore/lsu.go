@@ -13,7 +13,8 @@ import (
 type lsuEntry struct {
 	warpIdx int32
 	subCore int8
-	in      isa.Instr
+	//simlint:allow nexteventguard -- entry payload mutates only while queued; pending LSU entries make SM.NextEvent return now
+	in isa.Instr
 }
 
 // LSU is the SM-shared load/store unit. All four sub-cores feed one LSU
@@ -24,11 +25,13 @@ type lsuEntry struct {
 //
 //snapshot:state
 type LSU struct {
+	//simlint:allow nexteventguard -- back-pointer for writeback delivery; the SM's own quiescence is consulted directly
 	sm       *SM
 	queue    []lsuEntry
 	capacity int
 	portFree int64 // coalescer occupancy (1 transaction per cycle)
-	tr       *trace.SMT
+	//simlint:allow nexteventguard -- trace wiring: emission is output-only and idle cycles emit no events
+	tr *trace.SMT
 
 	// sharedBase sequences synthetic shared-memory "addresses" only for
 	// conflict-degree modeling.

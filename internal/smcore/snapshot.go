@@ -28,6 +28,7 @@ var (
 		"freeShmem":      "encoded",
 		"ageCounter":     "encoded",
 		"rooms":          "skip: CanAccept scratch, rebuilt each probe",
+		"auditSB":        "skip: Audit scratch, rewritten before every use",
 		"residentWarps":  "encoded",
 		"residentBlocks": "encoded",
 		"liveWarps":      "encoded",

@@ -16,7 +16,8 @@ import (
 //
 //snapshot:state
 type execUnit struct {
-	ii    int64
+	ii int64
+	//simlint:allow nexteventguard -- port busy-times advance only at issue; any issuable candidate makes quiescent() return false
 	ports []int64 // per-pipe next-free cycle
 }
 
@@ -67,22 +68,28 @@ type SubCore struct {
 	cfg   *config.GPU
 	sm    *SM
 	slots []int32 // warp indices into sm.warps; -1 = empty
-	used  int
+	//simlint:allow nexteventguard -- slot occupancy changes only at host/release (block lifecycle), never across a quiescent span
+	used int
 
 	sched core.WarpScheduler
 	coll  *regfile.Collector
-	eu    [isa.NumClasses]execUnit
+	//simlint:allow nexteventguard -- execution units mutate only at issue (see execUnit.ports)
+	eu [isa.NumClasses]execUnit
 
 	// freeRegBytes tracks unallocated register-file capacity.
+	//simlint:allow nexteventguard -- register budget changes only at host/release (block lifecycle)
 	freeRegBytes int
 
 	st *stats.SubCore
 
 	// tr is the SM's observability handle (nil = not traced, fast path).
+	//simlint:allow nexteventguard -- trace wiring: emission is output-only and idle cycles emit no events
 	tr *trace.SMT
 
 	// scratch buffers reused across cycles.
-	cands   []core.Candidate
+	//simlint:allow nexteventguard -- per-Tick scratch rebuilt each issue tick; carries no cross-cycle state
+	cands []core.Candidate
+	//simlint:allow nexteventguard -- per-Tick scratch rebuilt each issue tick; carries no cross-cycle state
 	qlenBuf []int
 
 	// dispatchFn is the operand-collector dispatch callback, built once
@@ -90,8 +97,10 @@ type SubCore struct {
 	// cost one heap allocation per sub-core per cycle (simlint hotpath).
 	// dispNow/dispPorts carry the per-cycle arguments it closes over.
 	dispatchFn func(*regfile.CollectorUnit) bool
-	dispNow    int64
-	dispPorts  int
+	//simlint:allow nexteventguard -- per-Tick dispatch argument rewritten before every use; carries no cross-cycle state
+	dispNow int64
+	//simlint:allow nexteventguard -- per-Tick dispatch argument rewritten before every use; carries no cross-cycle state
+	dispPorts int
 }
 
 func newSubCore(id int, cfg *config.GPU, sm *SM, st *stats.SubCore) *SubCore {
