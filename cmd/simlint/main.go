@@ -1,7 +1,8 @@
 // Command simlint runs the repository's custom static-analysis suite
 // (internal/analysis) over the module and exits non-zero on findings.
 // It is a tier-1 CI gate: the determinism, hot-path, trace-guard,
-// fault-flow, monitor-poll, CPI-ledger, and fast-forward invariants it
+// fault-flow, monitor-poll, CPI-ledger, fast-forward, and value-flow
+// (clock-taint, config-freeze, goroutine-sharing) invariants it
 // enforces are the source-level half of the guarantees
 // determinism_test.go and the harness chaos tests check dynamically.
 // See docs/STATIC_ANALYSIS.md.
@@ -19,12 +20,18 @@
 // ignores) is loaded as a standalone fixture tree — the same path the
 // golden tests use — so each analyzer's fixtures can be linted
 // directly and demonstrably fail.
+//
+// Exit codes are part of the contract CI scripts rely on: 0 means the
+// tree is clean, 1 means the analyzers produced findings, 2 means the
+// run itself failed (bad flags, unloadable packages, internal error) —
+// so a wrapper can distinguish "fix your code" from "fix the linter".
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -43,46 +50,64 @@ type jsonDiag struct {
 	Chain    string `json:"chain,omitempty"`
 }
 
+// Exit codes, documented in the package comment and asserted by
+// main_test.go.
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitError    = 2
+)
+
 func main() {
-	list := flag.Bool("list", false, "list analyzers and exit")
-	only := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-	asJSON := flag.Bool("json", false, "emit findings as JSON Lines on stdout")
-	strictAllow := flag.Bool("strict-allow", false,
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process edges injected: argv after the command
+// name, the two output streams, and the exit code as the return value.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	asJSON := fs.Bool("json", false, "emit findings as JSON Lines on stdout")
+	strictAllow := fs.Bool("strict-allow", false,
 		"report stale //simlint:allow directives (suppressing nothing) as findings")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: simlint [flags] [packages or fixture dirs]\n")
-		flag.PrintDefaults()
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: simlint [flags] [packages or fixture dirs]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
 
 	if *list {
 		for _, a := range analysis.All {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
-		return
+		return exitClean
 	}
 	analyzers := analysis.All
 	if *only != "" {
 		var err error
 		analyzers, err = analysis.ByName(*only)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return exitError
 		}
 	}
 
-	args := flag.Args()
-	if len(args) == 0 {
-		args = []string{"./..."}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		rest = []string{"./..."}
 	}
 	var patterns []string
 	var pkgs []*analysis.Package
-	for _, a := range args {
+	for _, a := range rest {
 		if isFixtureDir(a) {
 			fixture, err := analysis.LoadFixture(a)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				fmt.Fprintln(stderr, err)
+				return exitError
 			}
 			pkgs = append(pkgs, fixture...)
 			continue
@@ -92,23 +117,23 @@ func main() {
 	if len(patterns) > 0 || len(pkgs) == 0 {
 		loaded, err := analysis.Load(patterns...)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return exitError
 		}
 		pkgs = append(pkgs, loaded...)
 	}
 
-	run := analysis.RunAnalyzers
+	runFn := analysis.RunAnalyzers
 	if *strictAllow {
-		run = analysis.RunAnalyzersStrict
+		runFn = analysis.RunAnalyzersStrict
 	}
-	diags, err := run(pkgs, analyzers)
+	diags, err := runFn(pkgs, analyzers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return exitError
 	}
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		for _, d := range diags {
 			jd := jsonDiag{
 				File:     d.Pos.Filename,
@@ -119,19 +144,20 @@ func main() {
 				Chain:    d.Chain,
 			}
 			if err := enc.Encode(jd); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				fmt.Fprintln(stderr, err)
+				return exitError
 			}
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "simlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "simlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return exitFindings
 	}
+	return exitClean
 }
 
 // isFixtureDir reports whether arg names a directory of Go files inside

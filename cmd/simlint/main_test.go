@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The exit-code contract (package comment): 0 clean, 1 findings, 2
+// driver/load error. CI scripts branch on these, so they are pinned by
+// test, not convention.
+
+func runDriver(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitCleanIsZero(t *testing.T) {
+	code, stdout, stderr := runDriver(t, "testdata/clean")
+	if code != exitClean {
+		t.Fatalf("clean fixture: exit %d, want %d (stderr: %s)", code, exitClean, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean fixture produced output: %q", stdout)
+	}
+}
+
+func TestExitFindingsIsOne(t *testing.T) {
+	code, stdout, stderr := runDriver(t, "testdata/dirty")
+	if code != exitFindings {
+		t.Fatalf("dirty fixture: exit %d, want %d (stderr: %s)", code, exitFindings, stderr)
+	}
+	if !strings.Contains(stdout, "hotpath") {
+		t.Errorf("findings output does not name the analyzer: %q", stdout)
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Errorf("summary line missing from stderr: %q", stderr)
+	}
+}
+
+func TestExitErrorIsTwo(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unloadable package pattern", []string{"./does-not-exist"}},
+		{"unknown analyzer", []string{"-analyzers", "nosuch", "testdata/clean"}},
+		{"unknown flag", []string{"-definitely-not-a-flag"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runDriver(t, tc.args...)
+			if code != exitError {
+				t.Fatalf("exit %d, want %d (stderr: %s)", code, exitError, stderr)
+			}
+		})
+	}
+}
+
+// TestJSONFindingsStillExitOne pins that -json changes the format, not
+// the contract.
+func TestJSONFindingsStillExitOne(t *testing.T) {
+	code, stdout, _ := runDriver(t, "-json", "testdata/dirty")
+	if code != exitFindings {
+		t.Fatalf("exit %d, want %d", code, exitFindings)
+	}
+	if !strings.Contains(stdout, `"analyzer":"hotpath"`) {
+		t.Errorf("JSON output missing analyzer field: %q", stdout)
+	}
+}

@@ -1,0 +1,6 @@
+// Package clean is a driver-test fixture with nothing to report: the
+// exit-code contract test asserts simlint returns 0 on it.
+package clean
+
+// Add is deliberately boring.
+func Add(a, b int) int { return a + b }

@@ -1,0 +1,10 @@
+// Package dirty is a driver-test fixture with exactly one guaranteed
+// finding: a per-cycle function that heap-allocates, which the hotpath
+// analyzer flags wherever it appears. The exit-code contract test
+// asserts simlint returns 1 on it.
+package dirty
+
+// tick carries a hot stage word, so the allocation below is a finding.
+func tick() []int {
+	return make([]int, 8)
+}

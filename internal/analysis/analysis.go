@@ -57,7 +57,7 @@ type Analyzer struct {
 }
 
 // All is the registry of simlint's analyzers, in report order.
-var All = []*Analyzer{Determinism, Hotpath, Traceguard, Faultflow, Monitorpoll, Snapshotguard, Cpiguard, Nexteventguard}
+var All = []*Analyzer{Determinism, Hotpath, Traceguard, Faultflow, Monitorpoll, Snapshotguard, Cpiguard, Nexteventguard, Clocktaint, Configfreeze, Goroutineshare}
 
 // ByName resolves a subset of All from comma-separated names.
 func ByName(names string) ([]*Analyzer, error) {
@@ -221,6 +221,21 @@ func runAnalyzers(pkgs []*Package, analyzers []*Analyzer, strict bool) ([]Diagno
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 			keep(pass.diags)
+		}
+	}
+	// A waiver without its justification is rejected outright (not just
+	// under -strict-allow): the "-- reason" tail is the audit trail the
+	// whole suppression scheme exists for. One report per comment, even
+	// when it names several analyzers.
+	reasonless := map[token.Position]bool{}
+	for _, d := range sup.directives {
+		if ran[d.name] && d.reason == "" && !reasonless[d.pos] {
+			reasonless[d.pos] = true
+			out = append(out, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "allow",
+				Message:  `//simlint:allow without a reason: append " -- <why>" so the waiver carries its justification`,
+			})
 		}
 	}
 	if strict {

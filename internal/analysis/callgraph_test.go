@@ -9,8 +9,9 @@ import (
 )
 
 // writeSnippet materializes src as a single-file package under a temp
-// dir and loads it the fixture way. Snippets must be import-free so the
-// loader never shells out to the go command.
+// dir and loads it the fixture way. Import-free snippets load without
+// shelling out to the go command; stdlib imports work too, resolved
+// via `go list -export` like any fixture.
 func writeSnippet(t *testing.T, name, src string) []*Package {
 	t.Helper()
 	dir := filepath.Join(t.TempDir(), name)

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -108,6 +110,143 @@ func (e *engine) NextEvent(now int64) int64 {
 	return now + 8
 }
 `
+
+// writeFixtureTree materializes a multi-package fixture (relative path
+// → source) under a temp dir and loads it the fixture way; sub-packages
+// import each other as "fixture/<name>/<subdir>".
+func writeFixtureTree(t *testing.T, name string, files map[string]string) []*Package {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), name)
+	for rel, src := range files {
+		p := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkgs, err := LoadFixture(dir)
+	if err != nil {
+		t.Fatalf("LoadFixture: %v", err)
+	}
+	return pkgs
+}
+
+const ctDemoSrc = `package ctdemo
+
+import "time"
+
+//snapshot:state
+type engine struct {
+	clock int64
+}
+
+// stamp records the cycle the engine reached; the wall-clock duration
+// stays in the caller's (unsnapshotted) report.
+func (e *engine) stamp(cycle int64, start time.Time) time.Duration {
+	wall := time.Since(start)
+	e.clock = cycle
+	return wall
+}
+`
+
+func TestClocktaintCatchesReroutedClock(t *testing.T) {
+	wantClean(t, snippetDiags(t, "ctdemo", ctDemoSrc, Clocktaint))
+
+	// Route the wall-clock value into the snapshotted field instead of
+	// the simulated cycle: the resumed run would now disagree with the
+	// undisturbed one byte-for-byte.
+	store := "e.clock = cycle"
+	if !strings.Contains(ctDemoSrc, store) {
+		t.Fatal("demo source drifted: cycle store not found")
+	}
+	diags := snippetDiags(t, "ctdemo", strings.Replace(ctDemoSrc, store, "e.clock = int64(wall)", 1), Clocktaint)
+	wantFinding(t, diags, "snapshot:state field engine.clock")
+}
+
+var cfDemoFiles = map[string]string{
+	"config/config.go": `package config
+
+type GPU struct{ NumSMs int }
+
+func Default() GPU { return GPU{NumSMs: 2} }
+`,
+	"cfdemo.go": `package cfdemo
+
+import "fixture/cfdemo/config"
+
+type device struct{ cfg config.GPU }
+
+func newDevice(cfg config.GPU) *device { return &device{cfg: cfg} }
+
+func build(sms int) *device {
+	cfg := config.Default()
+	cfg.NumSMs = sms
+	return newDevice(cfg)
+}
+`,
+}
+
+func TestConfigfreezeCatchesUnfrozenWrite(t *testing.T) {
+	diags, err := RunAnalyzers(writeFixtureTree(t, "cfdemo", cfDemoFiles), []*Analyzer{Configfreeze})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	wantClean(t, diags)
+
+	// Move the same field write to after construction: the config is
+	// live and frozen, and the write must fire the guard.
+	pre := "cfg.NumSMs = sms\n\treturn newDevice(cfg)"
+	if !strings.Contains(cfDemoFiles["cfdemo.go"], pre) {
+		t.Fatal("demo source drifted: pre-construction write not found")
+	}
+	mutated := map[string]string{
+		"config/config.go": cfDemoFiles["config/config.go"],
+		"cfdemo.go": strings.Replace(cfDemoFiles["cfdemo.go"], pre,
+			"d := newDevice(cfg)\n\td.cfg.NumSMs = sms\n\treturn d", 1),
+	}
+	diags, err = RunAnalyzers(writeFixtureTree(t, "cfdemo", mutated), []*Analyzer{Configfreeze})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	wantFinding(t, diags, "config field GPU.NumSMs written outside a constructor/option func")
+}
+
+const gsDemoSrc = `package gsdemo
+
+import "sync"
+
+func sweep(n int) int {
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+`
+
+func TestGoroutineshareCatchesDeletedLock(t *testing.T) {
+	wantClean(t, snippetDiags(t, "gsdemo", gsDemoSrc, Goroutineshare))
+
+	// Delete the Lock: the looped worker's increment is now the classic
+	// lost-update race and the guard must fire.
+	lock := "\t\t\tmu.Lock()\n"
+	if !strings.Contains(gsDemoSrc, lock) {
+		t.Fatal("demo source drifted: Lock not found")
+	}
+	diags := snippetDiags(t, "gsdemo", strings.Replace(gsDemoSrc, lock, "", 1), Goroutineshare)
+	wantFinding(t, diags, "unguarded increment of total")
+}
 
 func TestNexteventguardCatchesDeletedConsultation(t *testing.T) {
 	wantClean(t, snippetDiags(t, "nedemo", neDemoSrc, Nexteventguard))

@@ -89,6 +89,9 @@ func TestGolden(t *testing.T) {
 		{"nexteventguard", Nexteventguard},
 		{"determinism_ip", Determinism},
 		{"hotpath_ip", Hotpath},
+		{"clocktaint", Clocktaint},
+		{"configfreeze", Configfreeze},
+		{"goroutineshare", Goroutineshare},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

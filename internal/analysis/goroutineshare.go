@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Goroutineshare is the static complement to `go test -race`: the race
+// detector proves the schedules a test run happens to drive, this pass
+// conservatively flags the *pattern* — a variable captured by more
+// than one goroutine (or by one goroutine launched in a loop) and
+// written without any visible synchronization. The concurrent packages
+// (harness workers, the gpu monitor, the metrics registry) are exactly
+// where the reproduction's fault-tolerance and telemetry claims live,
+// and a data race there corrupts results silently on the machines the
+// race detector never visits.
+//
+// The model, and its stated bounds:
+//
+//   - Roots are `go func(){...}(...)` statements in scope packages. A
+//     root inside a for/range loop counts as two roots (it spawns many
+//     goroutines). Named-function roots (`go s.srv.Serve(ln)`) share
+//     state only through their arguments, which the race detector
+//     covers; they are not modeled here.
+//   - An entity is a variable captured by the literal (declared
+//     outside it), excluding sync primitives themselves (sync.Mutex,
+//     WaitGroup, sync/atomic types — they exist to be shared).
+//   - A write is a direct assignment, compound assignment, or ++/--
+//     whose base resolves to a shared entity, including element and
+//     field stores through it (m[k]=v, res.N++, *p=v). Channel sends
+//     are the sanctioned hand-off and never count; mutation via method
+//     calls is the callee's contract (metrics counters are atomic
+//     inside).
+//   - A write is considered guarded when a sync.Mutex/RWMutex .Lock()
+//     call (not RLock — readers don't license writers) appears
+//     lexically before it inside the same goroutine body. This is
+//     lexical, not path-sensitive: a Lock in a dead branch satisfies
+//     it. The CI race job is the dynamic backstop for what this
+//     under-approximates; the point here is catching the unguarded
+//     pattern at review time, on every platform, without needing a
+//     schedule to hit it.
+//
+// Findings carry the capture chain — where the variable was declared,
+// which go statements capture it, where the unguarded write is — via
+// the dataflow engine's Flow rendering.
+var Goroutineshare = &Analyzer{
+	Name: "goroutineshare",
+	Doc: "flag variables captured by multiple goroutine roots (or a " +
+		"looped one) in harness/gpu/metrics and written without a " +
+		"lexically visible Lock, atomic, or channel hand-off",
+	RunProgram: runGoroutineshare,
+}
+
+// gsScope: the deliberately concurrent packages.
+var gsScope = []string{"internal/harness", "internal/gpu", "internal/metrics"}
+
+func gsInScope(p *Package) bool {
+	if p.Fixture {
+		return !strings.HasSuffix(p.Path, "/helper")
+	}
+	return pathIn(p.Path, gsScope)
+}
+
+// gsRoot is one `go func(){...}()` launch site.
+type gsRoot struct {
+	pkg    *Package
+	lit    *ast.FuncLit
+	pos    token.Pos
+	weight int // 2 when launched inside a loop
+}
+
+// gsSyncPrimitive reports whether the variable's type (pointer-deref'd)
+// is a sync or sync/atomic type — shared by design.
+func gsSyncPrimitive(v *types.Var) bool {
+	t := v.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	return path == "sync" || path == "sync/atomic"
+}
+
+// gsCaptured collects the variables the literal captures: objects used
+// inside it but declared outside its extent.
+func gsCaptured(pkg *Package, lit *ast.FuncLit) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || gsSyncPrimitive(v) {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			out[v] = true
+		}
+		return true
+	})
+	return out
+}
+
+// gsBaseVar resolves an lvalue's base variable: x, x.f, x[i], *x, and
+// parenthesized combinations all write through x.
+func gsBaseVar(pkg *Package, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if v, ok := pkg.Info.Uses[x].(*types.Var); ok {
+				return v
+			}
+			return nil
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// gsLockPositions collects the positions of sync.Mutex/RWMutex Lock()
+// calls in the body, for the lexical write-guard test.
+func gsLockPositions(pkg *Package, body ast.Node) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Lock" {
+			return true
+		}
+		t := pkg.Info.TypeOf(sel.X)
+		if t == nil {
+			return true
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil &&
+			n.Obj().Pkg().Path() == "sync" &&
+			(n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex") {
+			out = append(out, call.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+func runGoroutineshare(pp *ProgramPass) error {
+	// Pass 1: roots and the capture multiplicity of every variable.
+	type shared struct {
+		weight int
+		roots  []token.Pos
+	}
+	var roots []gsRoot
+	sharing := map[*types.Var]*shared{}
+	for _, pkg := range pp.Prog.Pkgs {
+		if !gsInScope(pkg) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			var stack []ast.Node
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				stack = append(stack, n)
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+				if !ok {
+					return true // named-function root: out of model (see Doc)
+				}
+				weight := 1
+				for _, anc := range stack {
+					switch anc.(type) {
+					case *ast.ForStmt, *ast.RangeStmt:
+						weight = 2
+					}
+				}
+				roots = append(roots, gsRoot{pkg: pkg, lit: lit, pos: gs.Pos(), weight: weight})
+				for v := range gsCaptured(pkg, lit) {
+					s := sharing[v]
+					if s == nil {
+						s = &shared{}
+						sharing[v] = s
+					}
+					s.weight += weight
+					s.roots = append(s.roots, gs.Pos())
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: unguarded writes to multiply-captured variables.
+	for _, r := range roots {
+		locks := gsLockPositions(r.pkg, r.lit.Body)
+		guarded := func(pos token.Pos) bool {
+			for _, lp := range locks {
+				if lp < pos {
+					return true
+				}
+			}
+			return false
+		}
+		flag := func(lhs ast.Expr, pos token.Pos, what string) {
+			v := gsBaseVar(r.pkg, lhs)
+			if v == nil {
+				return
+			}
+			s := sharing[v]
+			if s == nil || s.weight < 2 {
+				return
+			}
+			if guarded(pos) {
+				return
+			}
+			fl := &Flow{SrcPos: v.Pos(), SrcPkg: r.pkg, SrcDesc: "shared variable " + v.Name()}
+			for _, rp := range s.roots {
+				fl = fl.extend(r.pkg, rp, "captured by go statement")
+			}
+			fl = fl.extend(r.pkg, pos, "unguarded "+what)
+			pp.ReportChainf(r.pkg, pos, fl.Chain(),
+				"unguarded %s of %s, which concurrent goroutine launches share (%s) — no Lock precedes it in this goroutine body; guard it with the shared mutex, use sync/atomic, or hand the value off over a channel, or justify with //simlint:allow goroutineshare",
+				what, v.Name(), fl.Chain())
+		}
+		ast.Inspect(r.lit.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					// := on a plain ident declares a goroutine-local; writes
+					// through selectors/indexes mutate the base even under :=.
+					if n.Tok == token.DEFINE {
+						if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+							continue
+						}
+					}
+					flag(lhs, lhs.Pos(), "write")
+				}
+			case *ast.IncDecStmt:
+				flag(n.X, n.Pos(), "increment")
+			}
+			return true
+		})
+	}
+	return nil
+}

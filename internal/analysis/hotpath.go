@@ -84,7 +84,7 @@ func isHotFunc(fd *ast.FuncDecl) bool {
 	if hasDirective(fd.Doc, "hotpath") {
 		return true
 	}
-	if coldNamed(fd.Name.Name) {
+	if coldNamed(fd.Name.Name) || hasDirective(fd.Doc, "cold") {
 		return false
 	}
 	for _, w := range camelWords(fd.Name.Name) {

@@ -46,6 +46,53 @@ type stateField struct {
 	field string
 }
 
+// stateFieldDecl locates one declared field of a //snapshot:state
+// struct.
+type stateFieldDecl struct {
+	pkg   *Package
+	pos   token.Pos
+	owner string // display name: the struct's name
+}
+
+// collectStateFields gathers every field of every //snapshot:state
+// struct across the program, in declaration order. Shared by
+// nexteventguard (fast-forward consultation) and clocktaint (snapshot
+// fields as taint sinks).
+//
+//simlint:cold -- runs once per lint invocation; "collect" here is not the per-cycle pipeline stage
+func collectStateFields(prog *Program) (map[stateField]*stateFieldDecl, []stateField) {
+	fields := map[stateField]*stateFieldDecl{}
+	var order []stateField
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok || !(hasStateMarker(gd.Doc) || hasStateMarker(ts.Doc)) {
+						continue
+					}
+					for _, fld := range st.Fields.List {
+						for _, id := range fld.Names {
+							sf := stateField{owner: pkg.Path + "." + ts.Name.Name, field: id.Name}
+							fields[sf] = &stateFieldDecl{pkg: pkg, pos: id.Pos(), owner: ts.Name.Name}
+							order = append(order, sf)
+						}
+					}
+				}
+			}
+		}
+	}
+	return fields, order
+}
+
 func runNexteventguard(pp *ProgramPass) error {
 	g := pp.Prog.CallGraph()
 
@@ -92,40 +139,7 @@ func runNexteventguard(pp *ProgramPass) error {
 	}
 
 	// Snapshot-state structs and their fields, program-wide.
-	type fieldInfo struct {
-		pkg   *Package
-		pos   ast.Node
-		owner string // display name: Struct
-	}
-	fields := map[stateField]*fieldInfo{}
-	var order []stateField
-	for _, pkg := range pp.Prog.Pkgs {
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				gd, ok := decl.(*ast.GenDecl)
-				if !ok || gd.Tok != token.TYPE {
-					continue
-				}
-				for _, spec := range gd.Specs {
-					ts, ok := spec.(*ast.TypeSpec)
-					if !ok {
-						continue
-					}
-					st, ok := ts.Type.(*ast.StructType)
-					if !ok || !(hasStateMarker(gd.Doc) || hasStateMarker(ts.Doc)) {
-						continue
-					}
-					for _, fld := range st.Fields.List {
-						for _, id := range fld.Names {
-							sf := stateField{owner: pkg.Path + "." + ts.Name.Name, field: id.Name}
-							fields[sf] = &fieldInfo{pkg: pkg, pos: id, owner: ts.Name.Name}
-							order = append(order, sf)
-						}
-					}
-				}
-			}
-		}
-	}
+	fields, order := collectStateFields(pp.Prog)
 	if len(fields) == 0 {
 		return nil
 	}
@@ -162,7 +176,7 @@ func runNexteventguard(pp *ProgramPass) error {
 	for _, sf := range order {
 		if tickRead[sf] && tickWrite[sf] && !neRead[sf] {
 			fi := fields[sf]
-			pp.Reportf(fi.pkg, fi.pos.Pos(), "field %s.%s is read and mutated on the Tick path but never consulted by any NextEvent — fast-forward may skip a cycle whose behavior depends on it; consult it (or a quiescence helper that reads it) from a NextEvent, or justify with //simlint:allow nexteventguard", fi.owner, sf.field)
+			pp.Reportf(fi.pkg, fi.pos, "field %s.%s is read and mutated on the Tick path but never consulted by any NextEvent — fast-forward may skip a cycle whose behavior depends on it; consult it (or a quiescence helper that reads it) from a NextEvent, or justify with //simlint:allow nexteventguard", fi.owner, sf.field)
 		}
 	}
 	return nil

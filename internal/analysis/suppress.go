@@ -8,9 +8,9 @@ import (
 )
 
 // allowRe matches the suppression directive. The "-- reason" tail is
-// conventionally required so every suppression carries its
-// justification at the site; the pattern tolerates its absence so the
-// analyzer suite never silently ignores a malformed reason.
+// required: a waiver without its justification is itself reported (see
+// runAnalyzers). The pattern still matches a reasonless directive so
+// the suite can point at it rather than silently ignore it.
 var allowRe = regexp.MustCompile(`^//simlint:allow\s+([a-zA-Z0-9_,\s]+?)\s*(?:--\s*(.*))?$`)
 
 // hasDirective reports whether the comment group carries the given
@@ -33,9 +33,10 @@ func hasDirective(doc *ast.CommentGroup, name string) bool {
 // least one finding anywhere in its coverage" — the unit -strict-allow
 // reports on.
 type allowDirective struct {
-	pos  token.Position
-	name string
-	used bool
+	pos    token.Position
+	name   string
+	reason string // text after " -- "; empty means malformed
+	used   bool
 }
 
 // suppressions indexes every allow directive of the analyzed packages:
@@ -74,18 +75,19 @@ func (s *suppressions) suppressed(analyzer string, pos token.Position) bool {
 	return len(ds) > 0
 }
 
-func allowNames(text string) []string {
+// parseAllow splits a directive comment into the analyzer names it
+// waives and the reason after " -- " (empty when absent).
+func parseAllow(text string) (names []string, reason string) {
 	m := allowRe.FindStringSubmatch(text)
 	if m == nil {
-		return nil
+		return nil, ""
 	}
-	var names []string
 	for _, n := range strings.Split(m[1], ",") {
 		if n = strings.TrimSpace(n); n != "" {
 			names = append(names, n)
 		}
 	}
-	return names
+	return names, strings.TrimSpace(m[2])
 }
 
 // buildSuppressions indexes every //simlint:allow directive of the
@@ -107,7 +109,7 @@ func buildSuppressions(pkgs []*Package) *suppressions {
 					continue
 				}
 				for _, c := range fd.Doc.List {
-					names := allowNames(c.Text)
+					names, reason := parseAllow(c.Text)
 					if names == nil {
 						continue
 					}
@@ -115,7 +117,7 @@ func buildSuppressions(pkgs []*Package) *suppressions {
 					start := p.Fset.Position(fd.Pos()).Line
 					end := p.Fset.Position(fd.End()).Line
 					for _, n := range names {
-						ad := &allowDirective{pos: p.Fset.Position(c.Pos()), name: n}
+						ad := &allowDirective{pos: p.Fset.Position(c.Pos()), name: n, reason: reason}
 						s.directives = append(s.directives, ad)
 						for l := start; l <= end; l++ {
 							s.add(filename, l, ad)
@@ -125,13 +127,13 @@ func buildSuppressions(pkgs []*Package) *suppressions {
 			}
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					names := allowNames(c.Text)
+					names, reason := parseAllow(c.Text)
 					if names == nil || docDirective[c] {
 						continue
 					}
 					line := p.Fset.Position(c.Pos()).Line
 					for _, n := range names {
-						ad := &allowDirective{pos: p.Fset.Position(c.Pos()), name: n}
+						ad := &allowDirective{pos: p.Fset.Position(c.Pos()), name: n, reason: reason}
 						s.directives = append(s.directives, ad)
 						s.add(filename, line, ad)
 						s.add(filename, line+1, ad)

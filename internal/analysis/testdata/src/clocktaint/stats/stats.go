@@ -1,0 +1,10 @@
+// Package stats models the aggregation sink: clocktaint treats every
+// struct field declared in a package named "stats" as a sink, because
+// aggregated results must be bit-deterministic across identical runs.
+package stats
+
+// Totals aggregates per-cell results.
+type Totals struct {
+	Cells   int64
+	Elapsed int64
+}

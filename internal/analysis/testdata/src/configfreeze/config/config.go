@@ -1,0 +1,20 @@
+// Package config declares the frozen configuration type. Its own
+// declarations — constructors, option methods — may write config
+// fields; everyone else gets a value copy that must stay private.
+package config
+
+// GPU is the device configuration, captured by value at construction.
+type GPU struct {
+	NumSMs int
+	Audit  bool
+}
+
+// Default returns the baseline configuration.
+func Default() GPU { return GPU{NumSMs: 2} }
+
+// WithAudit returns a copy with auditing enabled: option methods
+// mutate their value receiver, which is construction, not a violation.
+func (c GPU) WithAudit(on bool) GPU {
+	c.Audit = on
+	return c
+}

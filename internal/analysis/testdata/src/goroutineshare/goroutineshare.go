@@ -1,0 +1,109 @@
+// Package goroutineshare is the golden fixture for the static sharing
+// analyzer: variables captured by more than one goroutine launch (or
+// one launch inside a loop) and written without a lexically visible
+// Lock, atomic, or channel hand-off.
+package goroutineshare
+
+import "sync"
+
+// fanout launches one goroutine per item: the looped root counts
+// double, so the captured counter is shared, and the bare increment is
+// the classic lost-update race.
+func fanout(n int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total++ // want "unguarded increment of total"
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// guarded is the same pattern with the mutex held: clean.
+func guarded(n int) int {
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// twoRoots: two distinct goroutines write the same captured map.
+func twoRoots() map[string]int {
+	m := map[string]int{}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		m["a"] = 1 // want "unguarded write of m"
+	}()
+	go func() {
+		defer wg.Done()
+		m["b"] = 2 // want "unguarded write of m"
+	}()
+	wg.Wait()
+	return m
+}
+
+// handoff shares a channel, not memory: sends are the sanctioned
+// pattern, clean.
+func handoff() int {
+	results := make(chan int, 2)
+	go func() { results <- 1 }()
+	go func() { results <- 2 }()
+	return <-results + <-results
+}
+
+// single launches once, outside any loop: one accessor is not sharing.
+func single() int {
+	x := 0
+	done := make(chan struct{})
+	go func() {
+		x = 1
+		close(done)
+	}()
+	<-done
+	return x
+}
+
+type result struct{ n int }
+
+// viaPointer: field stores through a captured pointer are writes to
+// the shared entity.
+func viaPointer() *result {
+	res := &result{}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res.n++ // want "unguarded increment of res"
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+// waived demonstrates the suppression hatch.
+func waived() int {
+	c := 0
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); c++ }() //simlint:allow goroutineshare -- fixture: demonstrates suppression
+	go func() { defer wg.Done(); c++ }() //simlint:allow goroutineshare -- fixture: demonstrates suppression
+	wg.Wait()
+	return c
+}

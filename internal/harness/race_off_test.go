@@ -1,0 +1,7 @@
+//go:build !race
+
+package harness
+
+// raceEnabled lets timing-sensitive tests widen wall-clock deadlines;
+// see race_on_test.go.
+const raceEnabled = false

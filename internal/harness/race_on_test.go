@@ -1,0 +1,8 @@
+//go:build race
+
+package harness
+
+// raceEnabled lets timing-sensitive tests widen wall-clock deadlines:
+// race instrumentation slows the simulation an order of magnitude, and
+// a starved-but-healthy cell must not read as hung.
+const raceEnabled = true

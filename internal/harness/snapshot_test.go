@@ -181,9 +181,17 @@ func TestChaosSweepWithSnapshots(t *testing.T) {
 	cfgs := []config.GPU{testCfg("cfgA"), testCfg("cfgB")}
 	apps := []workloads.App{testApp("app0", 20_000), testApp("app1", 20_000)}
 	dir := t.TempDir()
+	// These cells run long enough (20k cycles each, 4 workers) that on a
+	// small or loaded machine the race detector's slowdown can starve a
+	// healthy cell past a tight forward-progress deadline; widen it so
+	// only the injected hang ever trips the watchdog.
+	wd := 50 * time.Millisecond
+	if raceEnabled {
+		wd = time.Second
+	}
 	opt := Options{
 		Workers:          4,
-		WatchdogInterval: 50 * time.Millisecond,
+		WatchdogInterval: wd,
 		SnapshotDir:      filepath.Join(dir, "snaps"),
 		SnapshotInterval: 2048,
 		ResumeSnapshots:  true,
